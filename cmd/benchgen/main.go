@@ -1,0 +1,62 @@
+// Command benchgen generates the synthetic ISCAS-style benchmark layouts
+// used to reproduce Tables 1 and 2 of the DAC'14 QPLD paper, writing one
+// .lay file per circuit.
+//
+// Usage:
+//
+//	benchgen [-scale 1.0] [-out dir] [-circuits C432,S38417]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	scale := flag.Float64("scale", 1.0, "layout scale factor (1.0 = nominal size)")
+	out := flag.String("out", "benchmarks", "output directory")
+	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all of Table 1)")
+	binaryOut := flag.Bool("binary", false, "write the compact binary format (.layb) instead of text")
+	flag.Parse()
+
+	names := make([]string, 0, 15)
+	if *circuits == "" {
+		for _, s := range mpl.BenchmarkSuite() {
+			names = append(names, s.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*circuits, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range names {
+		l, err := mpl.GenerateBenchmark(name, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, name+".lay")
+		write := l.WriteFile
+		if *binaryOut {
+			path = filepath.Join(*out, name+".layb")
+			write = l.WriteBinaryFile
+		}
+		if err := write(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %7d features -> %s\n", name, len(l.Features), path)
+	}
+}

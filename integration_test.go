@@ -1,0 +1,135 @@
+package mpl_test
+
+import (
+	"testing"
+	"time"
+
+	"mpl"
+	"mpl/internal/bound"
+	"mpl/internal/division"
+)
+
+// TestEndToEndAllEnginesVerified runs the complete flow — synthetic
+// benchmark, graph construction, division, every engine, geometric
+// verification, density balancing — and checks the cross-engine invariants
+// the paper's evaluation relies on.
+func TestEndToEndAllEnginesVerified(t *testing.T) {
+	l, err := mpl.GenerateBenchmark("C6288", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := bound.MinConflicts(g.G, 4)
+
+	type outcome struct {
+		alg  mpl.Algorithm
+		conf int
+	}
+	var results []outcome
+	for _, alg := range []mpl.Algorithm{mpl.ILP, mpl.SDPBacktrack, mpl.SDPGreedy, mpl.Linear} {
+		res, err := mpl.DecomposeGraph(g, mpl.Options{
+			K:            4,
+			Algorithm:    alg,
+			Seed:         1,
+			ILPTimeLimit: 2 * time.Minute,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		// Geometric re-verification must agree with graph-level counts.
+		conf, stit, err := mpl.Verify(res)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if conf != res.Conflicts || stit != res.Stitches {
+			t.Fatalf("%v: verifier %d/%d vs result %d/%d", alg, conf, stit, res.Conflicts, res.Stitches)
+		}
+		// No engine can beat the clique-packing lower bound.
+		if res.Conflicts < lb {
+			t.Fatalf("%v: %d conflicts below lower bound %d", alg, res.Conflicts, lb)
+		}
+		// Density balancing must not change the objective.
+		c0, s0 := res.Conflicts, res.Stitches
+		mpl.BalanceMasks(res)
+		c1, s1, err := mpl.Verify(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c0 || s1 != s0 {
+			t.Fatalf("%v: balancing changed cost %d/%d -> %d/%d", alg, c0, s0, c1, s1)
+		}
+		results = append(results, outcome{alg, c0})
+	}
+
+	// Table-1 ordering: ILP (exact, finished) ≤ every heuristic;
+	// SDP+Backtrack ≤ SDP+Greedy on this macro-bearing circuit.
+	byAlg := map[mpl.Algorithm]int{}
+	for _, r := range results {
+		byAlg[r.alg] = r.conf
+	}
+	if byAlg[mpl.ILP] > byAlg[mpl.SDPBacktrack] ||
+		byAlg[mpl.ILP] > byAlg[mpl.SDPGreedy] ||
+		byAlg[mpl.ILP] > byAlg[mpl.Linear] {
+		t.Fatalf("exact ILP beaten by a heuristic: %v", byAlg)
+	}
+	if byAlg[mpl.SDPBacktrack] > byAlg[mpl.SDPGreedy] {
+		t.Fatalf("backtrack (%d) worse than greedy (%d)", byAlg[mpl.SDPBacktrack], byAlg[mpl.SDPGreedy])
+	}
+}
+
+// TestParallelEndToEnd checks the Workers option end to end on a benchmark.
+func TestParallelEndToEnd(t *testing.T) {
+	l, err := mpl.GenerateBenchmark("C2670", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := mpl.DecomposeGraph(g, mpl.Options{K: 4, Algorithm: mpl.Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := mpl.DecomposeGraph(g, mpl.Options{
+		K: 4, Algorithm: mpl.Linear,
+		Division: division.Options{Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Colors {
+		if serial.Colors[i] != parallel.Colors[i] {
+			t.Fatalf("fragment %d differs: %d vs %d", i, serial.Colors[i], parallel.Colors[i])
+		}
+	}
+}
+
+// TestKSweepMonotonicity: on a fixed decomposition graph (fixed mins), more
+// masks can only reduce the optimal conflict count; with the near-optimal
+// engine the measured counts should be non-increasing too.
+func TestKSweepMonotonicity(t *testing.T) {
+	l, err := mpl.GenerateBenchmark("C432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fix the graph at the QP distance so only K varies.
+	g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int(^uint(0) >> 1)
+	for _, k := range []int{4, 5, 6} {
+		res, err := mpl.DecomposeGraph(g, mpl.Options{K: k, Algorithm: mpl.SDPBacktrack, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Conflicts > prev {
+			t.Fatalf("K=%d: conflicts %d > K-1's %d", k, res.Conflicts, prev)
+		}
+		prev = res.Conflicts
+	}
+}

@@ -1,0 +1,125 @@
+// Package bound computes combinatorial lower bounds on the conflict number
+// of a K-patterning color assignment. The paper's Table 1 certifies
+// optimality with an expensive exact ILP; a cheap certificate is available
+// whenever the decomposition graph packs vertex-disjoint (K+1)-cliques:
+// each such clique forces at least one conflict for any K-coloring, so the
+// packing size bounds the achievable conflict number from below. When a
+// heuristic's conflict count meets the bound, its result is proven
+// conflict-optimal without running the ILP.
+//
+// The bound is exact for the paper's native-conflict structures (Fig. 1's
+// 4-cliques under TPL, Fig. 7's K5s under QPL) and a valid — if sometimes
+// loose — lower bound in general.
+package bound
+
+import (
+	"sort"
+
+	"mpl/internal/graph"
+)
+
+// MinConflicts returns a lower bound on the conflict number of any
+// K-coloring of g: the size of a greedily-packed set of vertex-disjoint
+// (K+1)-cliques.
+func MinConflicts(g *graph.Graph, k int) int {
+	if k < 1 {
+		panic("bound: k must be >= 1")
+	}
+	cliques := PackCliques(g, k+1)
+	return len(cliques)
+}
+
+// PackCliques greedily packs vertex-disjoint cliques of the given size,
+// returning the vertex sets found. Vertices are scanned in ascending
+// conflict-degree order of their candidates so small cliques in sparse
+// regions are found before dense hubs are consumed.
+func PackCliques(g *graph.Graph, size int) [][]int {
+	n := g.N()
+	if size < 1 || n == 0 {
+		return nil
+	}
+	if size == 1 {
+		out := make([][]int, n)
+		for v := 0; v < n; v++ {
+			out[v] = []int{v}
+		}
+		return out
+	}
+
+	used := make([]bool, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.ConflictDegree(order[a]) < g.ConflictDegree(order[b])
+	})
+
+	var out [][]int
+	clique := make([]int, 0, size)
+	for _, v := range order {
+		if used[v] || g.ConflictDegree(v) < size-1 {
+			continue
+		}
+		clique = clique[:0]
+		clique = append(clique, v)
+		if extend(g, used, &clique, size) {
+			members := append([]int(nil), clique...)
+			sort.Ints(members)
+			out = append(out, members)
+			for _, u := range members {
+				used[u] = true
+			}
+		}
+	}
+	return out
+}
+
+// extend grows the clique to the target size by backtracking over common
+// neighbors. The search space per vertex is bounded by its degree, which
+// the decomposition graphs keep small; a node budget guards pathological
+// dense inputs.
+func extend(g *graph.Graph, used []bool, clique *[]int, size int) bool {
+	const budget = 200_000
+	nodes := 0
+	var rec func() bool
+	rec = func() bool {
+		nodes++
+		if nodes > budget {
+			return false
+		}
+		cur := *clique
+		if len(cur) == size {
+			return true
+		}
+		last := cur[len(cur)-1]
+		for _, w := range g.ConflictNeighbors(last) {
+			wi := int(w)
+			// Keep candidates above the newest member to avoid revisiting
+			// permutations of the same set.
+			if wi <= last || used[wi] {
+				continue
+			}
+			if g.ConflictDegree(wi) < size-1 {
+				continue
+			}
+			ok := true
+			for _, u := range cur {
+				if u != last && !g.HasConflict(u, wi) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			*clique = append(cur, wi)
+			if rec() {
+				return true
+			}
+			*clique = cur
+		}
+		return false
+	}
+	return rec()
+}

@@ -1,0 +1,246 @@
+package coloring
+
+import (
+	"sort"
+
+	"mpl/internal/graph"
+)
+
+// WArc is a weighted adjacency entry of a merged graph.
+type WArc struct {
+	To     int
+	Weight int
+}
+
+// Weighted is a vertex-weighted multigraph: the merged graph of Algorithm 1.
+// Merging vertex groups collapses parallel edges into integer weights, so a
+// conflict between two merged groups costs Weight original conflicts.
+type Weighted struct {
+	NumV int
+	Conf [][]WArc
+	Stit [][]WArc
+}
+
+// NewWeighted returns an empty weighted graph on n vertices.
+func NewWeighted(n int) *Weighted {
+	return &Weighted{
+		NumV: n,
+		Conf: make([][]WArc, n),
+		Stit: make([][]WArc, n),
+	}
+}
+
+func addWArc(adj [][]WArc, u, v, w int) {
+	for i := range adj[u] {
+		if adj[u][i].To == v {
+			adj[u][i].Weight += w
+			return
+		}
+	}
+	adj[u] = append(adj[u], WArc{To: v, Weight: w})
+}
+
+// AddConflict accumulates conflict weight between u and v.
+func (w *Weighted) AddConflict(u, v, wt int) {
+	addWArc(w.Conf, u, v, wt)
+	addWArc(w.Conf, v, u, wt)
+}
+
+// AddStitch accumulates stitch weight between u and v.
+func (w *Weighted) AddStitch(u, v, wt int) {
+	addWArc(w.Stit, u, v, wt)
+	addWArc(w.Stit, v, u, wt)
+}
+
+// FromGraph converts a plain decomposition graph into unit-weight form.
+func FromGraph(g *graph.Graph) *Weighted {
+	w := NewWeighted(g.N())
+	for _, e := range g.ConflictEdges() {
+		w.AddConflict(e.U, e.V, 1)
+	}
+	for _, e := range g.StitchEdges() {
+		w.AddStitch(e.U, e.V, 1)
+	}
+	return w
+}
+
+// CountWeighted returns the weighted conflict and stitch totals of a
+// complete assignment on the merged graph.
+func (w *Weighted) CountWeighted(colors []int) (conflicts, stitches int) {
+	for u := 0; u < w.NumV; u++ {
+		for _, a := range w.Conf[u] {
+			if a.To > u && colors[u] == colors[a.To] {
+				conflicts += a.Weight
+			}
+		}
+		for _, a := range w.Stit[u] {
+			if a.To > u && colors[u] != colors[a.To] {
+				stitches += a.Weight
+			}
+		}
+	}
+	return conflicts, stitches
+}
+
+// BacktrackResult reports an exact (or node-limited) search outcome.
+type BacktrackResult struct {
+	Colors    []int
+	Conflicts int
+	Stitches  int
+	// Proven is true when the search space was exhausted, making the
+	// result optimal for the merged graph.
+	Proven bool
+	Nodes  int64
+}
+
+// Backtrack performs the branch-and-bound backtracking of Algorithm 1
+// (lines 7–19) on the merged graph: it enumerates color assignments in a
+// static order (descending weighted conflict degree), prunes when the
+// partial cost reaches the incumbent, and breaks color symmetry by only
+// allowing each vertex one fresh color beyond those already used.
+// nodeLimit bounds the search; 0 means 2,000,000 nodes.
+func (w *Weighted) Backtrack(k int, alpha float64, nodeLimit int64) BacktrackResult {
+	n := w.NumV
+	if nodeLimit <= 0 {
+		nodeLimit = 2_000_000
+	}
+	if n == 0 {
+		return BacktrackResult{Colors: []int{}, Proven: true}
+	}
+
+	// Static order: descending weighted conflict degree, then stitch degree.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	wdeg := make([]int, n)
+	sdeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, a := range w.Conf[v] {
+			wdeg[v] += a.Weight
+		}
+		for _, a := range w.Stit[v] {
+			sdeg[v] += a.Weight
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if wdeg[a] != wdeg[b] {
+			return wdeg[a] > wdeg[b]
+		}
+		return sdeg[a] > sdeg[b]
+	})
+	pos := make([]int, n) // vertex -> position in order
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	// Greedy incumbent so a node-limited search still returns something.
+	greedy := w.greedyColors(order, k, alpha)
+	bestC, bestS := w.CountWeighted(greedy)
+	best := append([]int(nil), greedy...)
+	bestCost := float64(bestC) + alpha*float64(bestS)
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	var nodes int64
+	exhausted := true
+
+	// deltaCost returns the cost increase of giving v color c, considering
+	// only neighbors earlier in the order (already colored).
+	deltaCost := func(v, c int) float64 {
+		d := 0.0
+		for _, a := range w.Conf[v] {
+			if pos[a.To] < pos[v] && colors[a.To] == c {
+				d += float64(a.Weight)
+			}
+		}
+		for _, a := range w.Stit[v] {
+			if pos[a.To] < pos[v] && colors[a.To] != c {
+				d += alpha * float64(a.Weight)
+			}
+		}
+		return d
+	}
+
+	var rec func(idx int, cost float64, used int)
+	rec = func(idx int, cost float64, used int) {
+		nodes++
+		if nodes > nodeLimit {
+			exhausted = false
+			return
+		}
+		if cost >= bestCost-1e-12 {
+			return
+		}
+		if idx == n {
+			c, s := w.CountWeighted(colors)
+			cc := float64(c) + alpha*float64(s)
+			if cc < bestCost-1e-12 {
+				bestCost = cc
+				bestC, bestS = c, s
+				copy(best, colors)
+			}
+			return
+		}
+		v := order[idx]
+		limit := used + 1
+		if limit > k {
+			limit = k
+		}
+		for c := 0; c < limit; c++ {
+			colors[v] = c
+			nu := used
+			if c == used {
+				nu++
+			}
+			rec(idx+1, cost+deltaCost(v, c), nu)
+			colors[v] = Uncolored
+			if nodes > nodeLimit {
+				return
+			}
+		}
+	}
+	rec(0, 0, 0)
+
+	return BacktrackResult{
+		Colors:    best,
+		Conflicts: bestC,
+		Stitches:  bestS,
+		Proven:    exhausted,
+		Nodes:     nodes,
+	}
+}
+
+// greedyColors colors vertices in the given order, picking the locally
+// cheapest color (ties to the lowest index).
+func (w *Weighted) greedyColors(order []int, k int, alpha float64) []int {
+	colors := make([]int, w.NumV)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	for _, v := range order {
+		bestCol, bestCost := 0, 1e18
+		for c := 0; c < k; c++ {
+			d := 0.0
+			for _, a := range w.Conf[v] {
+				if colors[a.To] == c {
+					d += float64(a.Weight)
+				}
+			}
+			for _, a := range w.Stit[v] {
+				if colors[a.To] != Uncolored && colors[a.To] != c {
+					d += alpha * float64(a.Weight)
+				}
+			}
+			if d < bestCost {
+				bestCost = d
+				bestCol = c
+			}
+		}
+		colors[v] = bestCol
+	}
+	return colors
+}

@@ -1,0 +1,290 @@
+// Package core assembles the full layout-decomposition flow of the DAC'14
+// paper (Fig. 2): decomposition-graph construction from polygonal layout
+// features (conflict edges, projection-based stitch candidates,
+// color-friendly pairs), graph division, per-component color assignment
+// with one of the paper's four engines, and mask output with independent
+// verification.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mpl/internal/geom"
+	"mpl/internal/graph"
+	"mpl/internal/layout"
+	"mpl/internal/spatial"
+)
+
+// Fragment is one vertex of the decomposition graph: a piece of a layout
+// feature (the whole feature when no stitch splits it).
+type Fragment struct {
+	// Feature is the index of the owning feature in the layout.
+	Feature int
+	// Shape is the fragment geometry.
+	Shape geom.Polygon
+}
+
+// BuildStats summarizes a constructed decomposition graph.
+type BuildStats struct {
+	Features      int
+	Fragments     int
+	ConflictEdges int
+	StitchEdges   int
+	FriendEdges   int
+}
+
+// BuildOptions controls decomposition-graph construction.
+type BuildOptions struct {
+	// MinS is the minimum coloring distance; two fragments of different
+	// features within (≤) this distance receive a conflict edge. Zero
+	// derives the paper's value from the layout process and K.
+	MinS int
+	// K is the mask count used to derive MinS when MinS is zero.
+	K int
+	// DisableStitches turns off stitch candidate generation.
+	DisableStitches bool
+	// StitchMinSeg is the minimum fragment length left on each side of a
+	// stitch; zero means the process minimum width.
+	StitchMinSeg int
+	// MaxStitchesPerFeature caps candidates per feature; zero means 2
+	// (long wires rarely profit from more, and the cap keeps vertex counts
+	// close to the paper's "stitch candidate" regime).
+	MaxStitchesPerFeature int
+}
+
+// Graph couples the decomposition graph with fragment geometry.
+type Graph struct {
+	G         *graph.Graph
+	Fragments []Fragment
+	Stats     BuildStats
+	MinS      int
+	HalfPitch int
+}
+
+// BuildGraph constructs the decomposition graph of a layout (Definition 1):
+// one vertex per fragment, conflict edges between fragments of different
+// features within MinS, stitch edges between touching fragments of one
+// feature, and color-friendly edges (Definition 2) between fragments of
+// different features at distance in (MinS, MinS+hp).
+func BuildGraph(l *layout.Layout, opts BuildOptions) (*Graph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	if k == 0 {
+		k = 4
+	}
+	minS := opts.MinS
+	if minS == 0 {
+		minS = l.Process.MinColoringDistance(k)
+	}
+	if minS <= 0 {
+		return nil, fmt.Errorf("core: non-positive minimum coloring distance %d", minS)
+	}
+	hp := l.Process.HalfPitch
+
+	// Stage 1: stitch candidate generation — split features into fragments.
+	var frags []Fragment
+	fragsOfFeature := make([][]int, len(l.Features))
+	if opts.DisableStitches {
+		for fi, f := range l.Features {
+			fragsOfFeature[fi] = []int{len(frags)}
+			frags = append(frags, Fragment{Feature: fi, Shape: f})
+		}
+	} else {
+		minSeg := opts.StitchMinSeg
+		if minSeg == 0 {
+			minSeg = l.Process.MinWidth
+		}
+		maxStitch := opts.MaxStitchesPerFeature
+		if maxStitch == 0 {
+			maxStitch = 2
+		}
+		splitter := newStitchSplitter(l, minS, minSeg, maxStitch)
+		for fi, f := range l.Features {
+			pieces := splitter.split(fi, f)
+			for _, p := range pieces {
+				fragsOfFeature[fi] = append(fragsOfFeature[fi], len(frags))
+				frags = append(frags, Fragment{Feature: fi, Shape: p})
+			}
+		}
+	}
+
+	g := graph.New(len(frags))
+	st := BuildStats{Features: len(l.Features), Fragments: len(frags)}
+
+	// Stitch edges: touching fragments of the same feature.
+	for _, ids := range fragsOfFeature {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := frags[ids[i]].Shape, frags[ids[j]].Shape
+				if geom.GapSqPoly(a, b) == 0 {
+					if g.AddStitch(ids[i], ids[j]) {
+						st.StitchEdges++
+					}
+				}
+			}
+		}
+	}
+
+	// Conflict and color-friendly edges via a grid over fragment bounds.
+	world := l.Bounds().Expand(minS + hp + 1)
+	grid := spatial.NewGrid(world, minS+hp, len(frags))
+	for _, fr := range frags {
+		grid.Insert(fr.Shape.Bounds())
+	}
+	minSq := int64(minS) * int64(minS)
+	friendOuter := int64(minS+hp) * int64(minS+hp)
+	for i := range frags {
+		grid.Near(frags[i].Shape.Bounds(), minS+hp, func(j int) {
+			if j <= i || frags[i].Feature == frags[j].Feature {
+				return
+			}
+			d := geom.GapSqPoly(frags[i].Shape, frags[j].Shape)
+			switch {
+			case d <= minSq:
+				if g.AddConflict(i, j) {
+					st.ConflictEdges++
+				}
+			case d < friendOuter:
+				if g.AddFriend(i, j) {
+					st.FriendEdges++
+				}
+			}
+		})
+	}
+
+	return &Graph{G: g, Fragments: frags, Stats: st, MinS: minS, HalfPitch: hp}, nil
+}
+
+// stitchSplitter implements projection-based stitch candidate generation
+// (DESIGN.md §5): a wire-like rectangle may be split at positions not
+// covered by the projection of any conflicting neighbor, keeping at least
+// minSeg of material on each side.
+type stitchSplitter struct {
+	l        *layout.Layout
+	minS     int
+	minSeg   int
+	maxCount int
+	grid     *spatial.Grid
+	owner    []int // grid id -> feature index
+	rects    []geom.Rect
+}
+
+func newStitchSplitter(l *layout.Layout, minS, minSeg, maxCount int) *stitchSplitter {
+	s := &stitchSplitter{l: l, minS: minS, minSeg: minSeg, maxCount: maxCount}
+	world := l.Bounds().Expand(minS + 1)
+	total := l.RectCount()
+	s.grid = spatial.NewGrid(world, minS, total)
+	for fi, f := range l.Features {
+		for _, r := range f.Rects {
+			s.grid.Insert(r)
+			s.owner = append(s.owner, fi)
+			s.rects = append(s.rects, r)
+		}
+	}
+	return s
+}
+
+// split returns the fragment polygons of one feature: single-rectangle
+// wire features may be divided at stitch candidates; everything else stays
+// whole. (Stitches inside complex polygons exist in practice but the
+// paper's stitch model — one candidate per uncovered projection interval —
+// is defined on wires; see DESIGN.md §5.)
+func (s *stitchSplitter) split(fi int, f geom.Polygon) []geom.Polygon {
+	if len(f.Rects) != 1 {
+		return []geom.Polygon{f}
+	}
+	r := f.Rects[0]
+	horizontal := r.Width() >= r.Height()
+	length := r.Width()
+	if !horizontal {
+		length = r.Height()
+	}
+	if length < 2*s.minSeg {
+		return []geom.Polygon{f}
+	}
+
+	// Forbidden intervals: projections of conflicting neighbor rectangles,
+	// expanded by minSeg so a stitch keeps clearance from the region where
+	// the neighbor actually constrains the wire.
+	type iv struct{ lo, hi int }
+	var forbidden []iv
+	s.grid.Near(r, s.minS, func(id int) {
+		if s.owner[id] == fi {
+			return
+		}
+		nr := s.rects[id]
+		if geom.GapSq(r, nr) > int64(s.minS)*int64(s.minS) {
+			return
+		}
+		if horizontal {
+			forbidden = append(forbidden, iv{nr.X0 - s.minSeg, nr.X1 + s.minSeg})
+		} else {
+			forbidden = append(forbidden, iv{nr.Y0 - s.minSeg, nr.Y1 + s.minSeg})
+		}
+	})
+
+	lo, hi := r.X0, r.X1
+	if !horizontal {
+		lo, hi = r.Y0, r.Y1
+	}
+	// Candidate window: stitches must leave minSeg on both sides.
+	winLo, winHi := lo+s.minSeg, hi-s.minSeg
+	if winLo >= winHi {
+		return []geom.Polygon{f}
+	}
+	sort.Slice(forbidden, func(a, b int) bool { return forbidden[a].lo < forbidden[b].lo })
+
+	// Walk the window collecting allowed gaps; one stitch per gap midpoint.
+	var cuts []int
+	cursor := winLo
+	emit := func(gapLo, gapHi int) {
+		if len(cuts) >= s.maxCount {
+			return
+		}
+		if gapHi > gapLo {
+			cuts = append(cuts, (gapLo+gapHi)/2)
+		}
+	}
+	for _, ivl := range forbidden {
+		if ivl.lo > cursor {
+			gHi := min(ivl.lo, winHi)
+			emit(cursor, gHi)
+		}
+		if ivl.hi > cursor {
+			cursor = ivl.hi
+		}
+		if cursor >= winHi {
+			break
+		}
+	}
+	if cursor < winHi {
+		emit(cursor, winHi)
+	}
+	if len(cuts) == 0 {
+		return []geom.Polygon{f}
+	}
+	sort.Ints(cuts)
+
+	var out []geom.Polygon
+	prev := lo
+	for _, c := range cuts {
+		if c <= prev || c >= hi {
+			continue
+		}
+		if horizontal {
+			out = append(out, geom.NewPolygon(geom.Rect{X0: prev, Y0: r.Y0, X1: c, Y1: r.Y1}))
+		} else {
+			out = append(out, geom.NewPolygon(geom.Rect{X0: r.X0, Y0: prev, X1: r.X1, Y1: c}))
+		}
+		prev = c
+	}
+	if horizontal {
+		out = append(out, geom.NewPolygon(geom.Rect{X0: prev, Y0: r.Y0, X1: hi, Y1: r.Y1}))
+	} else {
+		out = append(out, geom.NewPolygon(geom.Rect{X0: r.X0, Y0: prev, X1: r.X1, Y1: hi}))
+	}
+	return out
+}

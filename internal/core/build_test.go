@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"mpl/internal/geom"
+	"mpl/internal/layout"
+)
+
+func TestVerticalWireStitch(t *testing.T) {
+	// A vertical wire with neighbors near both ends splits once, same as
+	// the horizontal case.
+	l := layout.New("vstitch")
+	l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: 20, Y1: 400})
+	l.AddRect(geom.Rect{X0: 60, Y0: 0, X1: 80, Y1: 60})
+	l.AddRect(geom.Rect{X0: 60, Y0: 340, X1: 80, Y1: 400})
+	dg, err := BuildGraph(l, BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.Fragments != 4 || dg.Stats.StitchEdges != 1 {
+		t.Fatalf("stats = %+v, want vertical split", dg.Stats)
+	}
+}
+
+func TestMaxStitchesPerFeatureCap(t *testing.T) {
+	// A very long wire with many isolated neighbor clusters would admit
+	// many stitches; the cap keeps it at the configured count.
+	l := layout.New("cap")
+	l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: 2000, Y1: 20})
+	for i := 0; i < 8; i++ {
+		x := i * 250
+		l.AddRect(geom.Rect{X0: x, Y0: 60, X1: x + 40, Y1: 80})
+	}
+	for _, cap := range []int{1, 2, 3} {
+		dg, err := BuildGraph(l, BuildOptions{K: 4, MaxStitchesPerFeature: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dg.Stats.StitchEdges; got > cap {
+			t.Fatalf("cap %d: %d stitch edges", cap, got)
+		}
+	}
+}
+
+func TestStitchMinSegRespected(t *testing.T) {
+	// With a huge minimum segment, no stitch fits on a short wire.
+	l := layout.New("minseg")
+	l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: 300, Y1: 20})
+	l.AddRect(geom.Rect{X0: 0, Y0: 60, X1: 40, Y1: 80})
+	l.AddRect(geom.Rect{X0: 260, Y0: 60, X1: 300, Y1: 80})
+	dg, err := BuildGraph(l, BuildOptions{K: 4, StitchMinSeg: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.Fragments != 3 || dg.Stats.StitchEdges != 0 {
+		t.Fatalf("stats = %+v, want no split", dg.Stats)
+	}
+}
+
+func TestMultiRectFeatureNotSplit(t *testing.T) {
+	// L-shaped features keep their geometry (the stitch model is defined
+	// on wires; see DESIGN.md §5).
+	l := layout.New("lshape")
+	l.Add(geom.NewPolygon(
+		geom.Rect{X0: 0, Y0: 0, X1: 400, Y1: 20},
+		geom.Rect{X0: 0, Y0: 20, X1: 20, Y1: 400},
+	))
+	l.AddRect(geom.Rect{X0: 100, Y0: 60, X1: 140, Y1: 80})
+	dg, err := BuildGraph(l, BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.Fragments != 2 {
+		t.Fatalf("fragments = %d, want 2 (no L-shape splitting)", dg.Stats.Fragments)
+	}
+}
+
+func TestFragmentsPreserveArea(t *testing.T) {
+	// Splitting must conserve total feature area exactly.
+	l := layout.New("area")
+	l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 20})
+	l.AddRect(geom.Rect{X0: 100, Y0: 60, X1: 140, Y1: 80})
+	l.AddRect(geom.Rect{X0: 700, Y0: 60, X1: 740, Y1: 80})
+	var want int64
+	for _, f := range l.Features {
+		want += f.Area()
+	}
+	dg, err := BuildGraph(l, BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, fr := range dg.Fragments {
+		got += fr.Shape.Area()
+	}
+	if got != want {
+		t.Fatalf("area %d after split, want %d", got, want)
+	}
+}
+
+func TestBadMinSRejected(t *testing.T) {
+	l := layout.New("bad")
+	l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: 20, Y1: 20})
+	if _, err := BuildGraph(l, BuildOptions{MinS: -5}); err == nil {
+		t.Fatal("negative MinS accepted")
+	}
+}

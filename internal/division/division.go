@@ -1,0 +1,354 @@
+// Package division implements the graph-division pipeline of Section 4 of
+// the DAC'14 paper. Color assignment is exponential in the worst case, so
+// the decomposition graph is shrunk before any solver runs:
+//
+//  1. independent component computation — each connected component is
+//     processed separately;
+//  2. iterative removal of vertices with conflict degree < K (and stitch
+//     degree < 2), which can always be re-colored legally afterwards;
+//  3. 2-vertex-connected (biconnected) component computation — blocks meet
+//     only at articulation vertices, and a color rotation aligns each block
+//     to the already-colored cut vertex;
+//  4. GH-tree based (K−1)-cut removal (Section 4.1, Algorithm 3) — tree
+//     edges with weight < K split the block into pieces joined by fewer
+//     than K conflict edges; after independent coloring, each piece is
+//     rotated so that no cut edge becomes a conflict (Lemma 1 guarantees a
+//     safe rotation exists; Theorem 2 generalizes to any K).
+//
+// The pipeline is solver-agnostic: any function that colors one connected
+// component can be plugged in, which is how the ILP / SDP / linear engines
+// of the paper's Tables 1–2 share identical division treatment.
+package division
+
+import (
+	"sync"
+
+	"mpl/internal/coloring"
+	"mpl/internal/ghtree"
+	"mpl/internal/graph"
+)
+
+// Solver colors one connected decomposition (sub)graph with K colors,
+// returning one color in [0, K) per vertex.
+type Solver func(g *graph.Graph) []int
+
+// Options controls which division techniques run. The zero value enables
+// everything with the paper's parameters except K, which must be set.
+type Options struct {
+	// K is the number of masks.
+	K int
+	// Alpha is the stitch weight used when scoring reassembly rotations
+	// and stack pops (paper: 0.1).
+	Alpha float64
+	// DisablePeeling skips low-degree vertex removal (ablation).
+	DisablePeeling bool
+	// DisableBiconnected skips the biconnected split (ablation).
+	DisableBiconnected bool
+	// DisableGHTree skips GH-tree (K−1)-cut division (ablation).
+	DisableGHTree bool
+	// GHTreeMaxN caps the component size for which a GH tree is built
+	// (n−1 max-flows get expensive on huge blocks); 0 means 3000.
+	GHTreeMaxN int
+	// MaxStitchDegree bounds dstit for peeling; 0 means the paper's 2.
+	MaxStitchDegree int
+	// Workers sets the number of goroutines coloring independent
+	// components concurrently; 0 or 1 means serial. Results are
+	// deterministic regardless of worker count because components are
+	// disjoint and each is solved from the same inputs — but the solver
+	// must be safe for concurrent calls.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K < 2 {
+		panic("division: K must be >= 2")
+	}
+	if o.GHTreeMaxN == 0 {
+		o.GHTreeMaxN = 3000
+	}
+	if o.MaxStitchDegree == 0 {
+		o.MaxStitchDegree = 2
+	}
+	return o
+}
+
+// Stats reports how much structure the pipeline exposed.
+type Stats struct {
+	Components   int // independent components
+	Peeled       int // vertices removed by low-degree peeling
+	Blocks       int // biconnected blocks solved
+	GHComponents int // pieces created by (K−1)-cut removal
+	SolverCalls  int // invocations of the underlying solver
+}
+
+// Decompose divides the graph, colors every piece with solve, and
+// reassembles a full coloring.
+func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
+	opts = opts.withDefaults()
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = coloring.Uncolored
+	}
+	var st Stats
+	comps := g.Components()
+	st.Components = len(comps)
+	if opts.Workers <= 1 {
+		for _, comp := range comps {
+			sub, orig := g.Subgraph(comp)
+			subColors := decomposeComponent(sub, opts, solve, &st)
+			for i, v := range orig {
+				colors[v] = subColors[i]
+			}
+		}
+		return colors, st
+	}
+
+	// Parallel mode: components are vertex-disjoint, so goroutines write
+	// non-overlapping slices of colors; per-worker stats merge at the end.
+	type job struct{ comp []int }
+	jobs := make(chan job)
+	workerStats := make([]Stats, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(ws *Stats) {
+			defer wg.Done()
+			for j := range jobs {
+				sub, orig := g.Subgraph(j.comp)
+				subColors := decomposeComponent(sub, opts, solve, ws)
+				for i, v := range orig {
+					colors[v] = subColors[i]
+				}
+			}
+		}(&workerStats[w])
+	}
+	for _, comp := range comps {
+		jobs <- job{comp: comp}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, ws := range workerStats {
+		st.Peeled += ws.Peeled
+		st.Blocks += ws.Blocks
+		st.GHComponents += ws.GHComponents
+		st.SolverCalls += ws.SolverCalls
+	}
+	return colors, st
+}
+
+// decomposeComponent handles one connected component: peel, solve the core
+// (via biconnected + GH division), then pop the peel stack.
+func decomposeComponent(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = coloring.Uncolored
+	}
+
+	var stack, core []int
+	if opts.DisablePeeling {
+		core = make([]int, n)
+		for i := range core {
+			core[i] = i
+		}
+	} else {
+		stack, core = g.PeelOrder(opts.K, opts.MaxStitchDegree, nil)
+		st.Peeled += len(stack)
+	}
+
+	if len(core) > 0 {
+		coreSub, coreOrig := g.Subgraph(core)
+		// Peeling can disconnect the core; re-split into components.
+		for _, cc := range coreSub.Components() {
+			ccSub, ccOrig := coreSub.Subgraph(cc)
+			ccColors := solveCore(ccSub, opts, solve, st)
+			for i, v := range ccOrig {
+				colors[coreOrig[v]] = ccColors[i]
+			}
+		}
+	}
+
+	// Pop the stack in reverse removal order; a conflict-free color always
+	// exists (the peeling invariant), stitch cost breaks ties.
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		colors[v] = cheapestColor(g, colors, v, opts.K, opts.Alpha)
+	}
+	return colors
+}
+
+// solveCore applies the biconnected split to one connected core component.
+func solveCore(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+	if opts.DisableBiconnected {
+		st.Blocks++
+		return solveBlock(g, opts, solve, st)
+	}
+	blocks, _ := g.BiconnectedComponents()
+	if len(blocks) == 1 {
+		st.Blocks++
+		return solveBlock(g, opts, solve, st)
+	}
+
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = coloring.Uncolored
+	}
+
+	// Process blocks in an order where each new block shares at most one
+	// already-colored vertex (BFS over the block-cut structure); rotate the
+	// block's fresh coloring so that vertex matches.
+	vertexBlocks := make(map[int][]int) // vertex -> block indices
+	for bi, b := range blocks {
+		for _, v := range b {
+			vertexBlocks[v] = append(vertexBlocks[v], bi)
+		}
+	}
+	done := make([]bool, len(blocks))
+	queue := []int{0}
+	done[0] = true
+	for len(queue) > 0 {
+		bi := queue[0]
+		queue = queue[1:]
+		st.Blocks++
+		block := blocks[bi]
+		bsub, borig := g.Subgraph(block)
+		bcolors := solveBlock(bsub, opts, solve, st)
+
+		// Find the anchor: a vertex already colored by an earlier block.
+		rot := 0
+		for i, v := range borig {
+			if colors[v] != coloring.Uncolored {
+				rot = (colors[v] - bcolors[i]%opts.K + 2*opts.K) % opts.K
+				break
+			}
+		}
+		for i, v := range borig {
+			if colors[v] == coloring.Uncolored {
+				colors[v] = (bcolors[i] + rot) % opts.K
+			}
+		}
+		for _, v := range block {
+			for _, nb := range vertexBlocks[v] {
+				if !done[nb] {
+					done[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return colors
+}
+
+// solveBlock applies GH-tree (K−1)-cut division to one biconnected block
+// (Algorithm 3) and reassembles with color rotations.
+func solveBlock(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+	n := g.N()
+	if opts.DisableGHTree || n > opts.GHTreeMaxN || n < 2 {
+		st.SolverCalls++
+		return solve(g)
+	}
+	tr := ghtree.BuildFromConflictGraph(g)
+	comps := tr.ComponentsBelowWeight(int64(opts.K))
+	if len(comps) == 1 {
+		st.SolverCalls++
+		return solve(g)
+	}
+	st.GHComponents += len(comps)
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = coloring.Uncolored
+	}
+	for _, comp := range comps {
+		csub, corig := g.Subgraph(comp)
+		// The piece may itself be disconnected once cut edges are ignored;
+		// components inside it are solved independently (their relative
+		// rotation is later fixed edge by edge).
+		for _, cc := range csub.Components() {
+			ccSub, ccOrig := csub.Subgraph(cc)
+			st.SolverCalls++
+			ccColors := solve(ccSub)
+			for i, v := range ccOrig {
+				colors[corig[v]] = ccColors[i]
+			}
+		}
+	}
+
+	// Color rotation (Lemma 1): for every removed tree edge, deepest
+	// first, rotate the subtree side by the value that minimizes the cost
+	// of the crossing edges. The cut-tree property bounds the crossing
+	// conflict edges by K−1, so a conflict-free rotation always exists.
+	ces := g.ConflictEdges()
+	ses := g.StitchEdges()
+	for _, cut := range tr.CutEdgesBelowWeight(int64(opts.K)) {
+		mask := tr.SubtreeMask(cut.Child)
+		bestRot, bestCost := 0, 1e18
+		for r := 0; r < opts.K; r++ {
+			cost := 0.0
+			for _, e := range ces {
+				if mask[e.U] != mask[e.V] {
+					cu, cv := colors[e.U], colors[e.V]
+					if mask[e.U] {
+						cu = (cu + r) % opts.K
+					} else {
+						cv = (cv + r) % opts.K
+					}
+					if cu == cv {
+						cost++
+					}
+				}
+			}
+			for _, e := range ses {
+				if mask[e.U] != mask[e.V] {
+					cu, cv := colors[e.U], colors[e.V]
+					if mask[e.U] {
+						cu = (cu + r) % opts.K
+					} else {
+						cv = (cv + r) % opts.K
+					}
+					if cu != cv {
+						cost += opts.Alpha
+					}
+				}
+			}
+			if cost < bestCost-1e-12 {
+				bestCost = cost
+				bestRot = r
+			}
+		}
+		if bestRot != 0 {
+			for v := 0; v < n; v++ {
+				if mask[v] {
+					colors[v] = (colors[v] + bestRot) % opts.K
+				}
+			}
+		}
+	}
+	return colors
+}
+
+// cheapestColor assigns v the color minimizing conflicts (then α-weighted
+// stitches) against currently colored neighbors.
+func cheapestColor(g *graph.Graph, colors []int, v, k int, alpha float64) int {
+	bestCol, bestCost := 0, 1e18
+	for c := 0; c < k; c++ {
+		cost := 0.0
+		for _, w := range g.ConflictNeighbors(v) {
+			if colors[w] == c {
+				cost++
+			}
+		}
+		for _, w := range g.StitchNeighbors(v) {
+			if colors[w] != coloring.Uncolored && colors[w] != c {
+				cost += alpha
+			}
+		}
+		if cost < bestCost-1e-12 {
+			bestCost = cost
+			bestCol = c
+		}
+	}
+	return bestCol
+}

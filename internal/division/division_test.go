@@ -1,0 +1,299 @@
+package division
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpl/internal/coloring"
+	"mpl/internal/graph"
+)
+
+// exactSolver is the reference per-component engine for the tests: full
+// branch-and-bound on the component.
+func exactSolver(k int, alpha float64) Solver {
+	return func(g *graph.Graph) []int {
+		res := coloring.FromGraph(g).Backtrack(k, alpha, 0)
+		return res.Colors
+	}
+}
+
+// bruteForce enumerates all k^n colorings for the global optimum.
+func bruteForce(g *graph.Graph, k int, alpha float64) (conf int, cost float64) {
+	n := g.N()
+	ces := g.ConflictEdges()
+	ses := g.StitchEdges()
+	colors := make([]int, n)
+	bestCost := math.Inf(1)
+	bestConf := -1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			c, s := 0, 0
+			for _, e := range ces {
+				if colors[e.U] == colors[e.V] {
+					c++
+				}
+			}
+			for _, e := range ses {
+				if colors[e.U] != colors[e.V] {
+					s++
+				}
+			}
+			w := float64(c) + alpha*float64(s)
+			if w < bestCost {
+				bestCost = w
+				bestConf = c
+			}
+			return
+		}
+		for c := 0; c < k; c++ {
+			colors[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return bestConf, bestCost
+}
+
+func randomGraph(rng *rand.Rand, n, ce, se int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < ce; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasStitch(u, v) {
+			g.AddConflict(u, v)
+		}
+	}
+	for i := 0; i < se; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasConflict(u, v) && !g.HasStitch(u, v) {
+			g.AddStitch(u, v)
+		}
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	colors, st := Decompose(graph.New(0), Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	if len(colors) != 0 || st.Components != 0 {
+		t.Fatalf("empty = %v %+v", colors, st)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := graph.New(5)
+	colors, st := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	if err := coloring.Validate(g, colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 5 {
+		t.Fatalf("components = %d", st.Components)
+	}
+	// Isolated vertices peel away; the solver should never be called.
+	if st.SolverCalls != 0 {
+		t.Fatalf("solver calls = %d, want 0", st.SolverCalls)
+	}
+}
+
+func TestFig5ThreeCutRotation(t *testing.T) {
+	// Fig. 5: two triangles joined by the 3-cut (a-d, b-e, c-f). The prism
+	// is 3-colorable, so with K=4 the result must have zero conflicts even
+	// though the pieces are colored independently and reconnected by
+	// rotation. Disable peeling so division actually exercises the GH path
+	// (all prism vertices have degree 3 < 4 and would otherwise peel).
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {0, 3}, {1, 4}, {2, 5}} {
+		g.AddConflict(e[0], e[1])
+	}
+	opts := Options{K: 4, Alpha: 0.1, DisablePeeling: true}
+	colors, st := Decompose(g, opts, exactSolver(4, 0.1))
+	if err := coloring.Validate(g, colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := coloring.Count(g, colors); c != 0 {
+		t.Fatalf("conflicts = %d, want 0 (colors %v)", c, colors)
+	}
+	if st.GHComponents == 0 {
+		t.Fatalf("GH division did not trigger: %+v", st)
+	}
+}
+
+func TestPeelingHandlesTree(t *testing.T) {
+	// A path graph peels completely: zero solver calls, zero conflicts.
+	g := graph.New(10)
+	for i := 0; i < 9; i++ {
+		g.AddConflict(i, i+1)
+	}
+	colors, st := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	if c, _ := coloring.Count(g, colors); c != 0 {
+		t.Fatalf("conflicts = %d", c)
+	}
+	if st.Peeled != 10 || st.SolverCalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBiconnectedAlignment(t *testing.T) {
+	// Two K5s sharing one articulation vertex. Each block needs 1 conflict
+	// (K5 with 4 colors); the shared vertex must end with one consistent
+	// color and total conflicts must be exactly 2.
+	g := graph.New(9)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddConflict(i, j)
+		}
+	}
+	second := []int{4, 5, 6, 7, 8} // vertex 4 shared
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddConflict(second[i], second[j])
+		}
+	}
+	colors, st := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	if err := coloring.Validate(g, colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := coloring.Count(g, colors); c != 2 {
+		t.Fatalf("conflicts = %d, want 2", c)
+	}
+	if st.Blocks != 2 {
+		t.Fatalf("blocks = %d, want 2 (%+v)", st.Blocks, st)
+	}
+}
+
+// TestRotationNeverAddsConflict is the paper's Lemma 1 / Theorem 2 as a
+// property test: with an exact per-piece solver, the divided solve reaches
+// exactly the global optimum conflict count for K ∈ {4, 5, 6}.
+func TestRotationNeverAddsConflict(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const alpha = 0.01
+	for trial := 0; trial < 60; trial++ {
+		k := 4 + rng.Intn(3)
+		n := 4 + rng.Intn(5)
+		g := randomGraph(rng, n, n+rng.Intn(2*n), rng.Intn(2))
+		colors, _ := Decompose(g, Options{K: k, Alpha: alpha}, exactSolver(k, alpha))
+		if err := coloring.Validate(g, colors, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gotConf, _ := coloring.Count(g, colors)
+		wantConf, _ := bruteForce(g, k, alpha)
+		if gotConf != wantConf {
+			t.Fatalf("trial %d (k=%d, n=%d): division conflicts %d, optimum %d",
+				trial, k, n, gotConf, wantConf)
+		}
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	// All four technique combinations must produce valid colorings with
+	// the same conflict count on a structured graph (two K5s + a bridge).
+	g := graph.New(11)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddConflict(i, j)
+			g.AddConflict(5+i, 5+j)
+		}
+	}
+	g.AddConflict(4, 10)
+	g.AddConflict(10, 5)
+	for _, opt := range []Options{
+		{K: 4, Alpha: 0.1},
+		{K: 4, Alpha: 0.1, DisablePeeling: true},
+		{K: 4, Alpha: 0.1, DisableBiconnected: true},
+		{K: 4, Alpha: 0.1, DisableGHTree: true},
+		{K: 4, Alpha: 0.1, DisablePeeling: true, DisableBiconnected: true, DisableGHTree: true},
+	} {
+		colors, _ := Decompose(g, opt, exactSolver(4, 0.1))
+		if err := coloring.Validate(g, colors, 4); err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		if c, _ := coloring.Count(g, colors); c != 2 {
+			t.Fatalf("opts %+v: conflicts = %d, want 2", opt, c)
+		}
+	}
+}
+
+func TestGHTreeMaxNCap(t *testing.T) {
+	// With the cap below the component size, GH division is skipped and the
+	// solver sees the whole block.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {0, 3}, {1, 4}, {2, 5}} {
+		g.AddConflict(e[0], e[1])
+	}
+	opts := Options{K: 4, Alpha: 0.1, DisablePeeling: true, GHTreeMaxN: 2}
+	var maxSeen int
+	solver := func(sub *graph.Graph) []int {
+		if sub.N() > maxSeen {
+			maxSeen = sub.N()
+		}
+		return exactSolver(4, 0.1)(sub)
+	}
+	if _, st := Decompose(g, opts, solver); st.GHComponents != 0 {
+		t.Fatalf("GH ran despite cap: %+v", st)
+	}
+	if maxSeen != 6 {
+		t.Fatalf("solver saw max %d vertices, want whole block 6", maxSeen)
+	}
+}
+
+func TestStitchEdgesSurviveDivision(t *testing.T) {
+	// Stitch-linked vertices in different GH pieces: rotation scoring must
+	// prefer matching them when conflict-free.
+	g := graph.New(4)
+	g.AddConflict(0, 1)
+	g.AddConflict(2, 3)
+	g.AddStitch(1, 2)
+	colors, _ := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	c, s := coloring.Count(g, colors)
+	if c != 0 || s != 0 {
+		t.Fatalf("conflicts=%d stitches=%d colors=%v, want clean", c, s, colors)
+	}
+}
+
+func TestBadKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 did not panic")
+		}
+	}()
+	Decompose(graph.New(1), Options{K: 0}, exactSolver(4, 0.1))
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Workers > 1 must produce the identical coloring and merged stats as
+	// the serial pipeline (components are independent and the solver is
+	// deterministic).
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(60)
+		g := randomGraph(rng, n, n, n/4)
+		serial, sst := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+		par, pst := Decompose(g, Options{K: 4, Alpha: 0.1, Workers: 4}, exactSolver(4, 0.1))
+		for v := range serial {
+			if serial[v] != par[v] {
+				t.Fatalf("trial %d: vertex %d: serial %d, parallel %d", trial, v, serial[v], par[v])
+			}
+		}
+		if sst != pst {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, sst, pst)
+		}
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Exercised under -race: many small components, several workers.
+	g := graph.New(400)
+	for i := 0; i < 400; i += 4 {
+		g.AddConflict(i, i+1)
+		g.AddConflict(i+1, i+2)
+		g.AddConflict(i+2, i+3)
+		g.AddConflict(i+3, i)
+	}
+	colors, st := Decompose(g, Options{K: 4, Alpha: 0.1, Workers: 8}, exactSolver(4, 0.1))
+	if err := coloring.Validate(g, colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 100 {
+		t.Fatalf("components = %d", st.Components)
+	}
+}

@@ -1,0 +1,473 @@
+// Package graph implements the decomposition graph of the DAC'14 paper
+// (Definition 1): an undirected graph with one vertex per polygonal feature
+// fragment and two edge sets, conflict edges (CE, features within the
+// minimum coloring distance) and stitch edges (SE, stitch candidates inside
+// one feature). A third edge set records the paper's color-friendly pairs
+// (Definition 2, distance in (mins, mins+hp)), which the linear color
+// assignment consults as soft same-color hints.
+//
+// The package also provides the structural operations the graph-division
+// pipeline needs: connected components, iterative peeling of vertices with
+// conflict degree < K, biconnected components and articulation points, and
+// vertex-subset extraction.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is the decomposition graph. Vertices are dense integers [0, N).
+// Adjacency lists are kept deduplicated and loop-free.
+type Graph struct {
+	n      int
+	conf   [][]int32
+	stit   [][]int32
+	friend [][]int32
+	nConf  int
+	nStit  int
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:      n,
+		conf:   make([][]int32, n),
+		stit:   make([][]int32, n),
+		friend: make([][]int32, n),
+	}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// ConflictEdgeCount returns |CE|.
+func (g *Graph) ConflictEdgeCount() int { return g.nConf }
+
+// StitchEdgeCount returns |SE|.
+func (g *Graph) StitchEdgeCount() int { return g.nStit }
+
+// AddVertex appends an isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.conf = append(g.conf, nil)
+	g.stit = append(g.stit, nil)
+	g.friend = append(g.friend, nil)
+	g.n++
+	return g.n - 1
+}
+
+func contains(adj []int32, v int32) bool {
+	for _, w := range adj {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) check(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+}
+
+// AddConflict inserts an undirected conflict edge; duplicate insertions are
+// ignored. It reports whether the edge was new.
+func (g *Graph) AddConflict(u, v int) bool {
+	g.check(u, v)
+	if contains(g.conf[u], int32(v)) {
+		return false
+	}
+	g.conf[u] = append(g.conf[u], int32(v))
+	g.conf[v] = append(g.conf[v], int32(u))
+	g.nConf++
+	return true
+}
+
+// AddStitch inserts an undirected stitch edge; duplicates are ignored.
+func (g *Graph) AddStitch(u, v int) bool {
+	g.check(u, v)
+	if contains(g.stit[u], int32(v)) {
+		return false
+	}
+	g.stit[u] = append(g.stit[u], int32(v))
+	g.stit[v] = append(g.stit[v], int32(u))
+	g.nStit++
+	return true
+}
+
+// AddFriend inserts an undirected color-friendly edge; duplicates ignored.
+func (g *Graph) AddFriend(u, v int) bool {
+	g.check(u, v)
+	if contains(g.friend[u], int32(v)) {
+		return false
+	}
+	g.friend[u] = append(g.friend[u], int32(v))
+	g.friend[v] = append(g.friend[v], int32(u))
+	return true
+}
+
+// HasConflict reports whether {u,v} is a conflict edge.
+func (g *Graph) HasConflict(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	return contains(g.conf[u], int32(v))
+}
+
+// HasStitch reports whether {u,v} is a stitch edge.
+func (g *Graph) HasStitch(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	return contains(g.stit[u], int32(v))
+}
+
+// ConflictDegree returns dconf(v), the number of conflict edges at v.
+func (g *Graph) ConflictDegree(v int) int { return len(g.conf[v]) }
+
+// StitchDegree returns dstit(v), the number of stitch edges at v.
+func (g *Graph) StitchDegree(v int) int { return len(g.stit[v]) }
+
+// ConflictNeighbors returns the conflict adjacency of v. The slice is owned
+// by the graph; callers must not modify it.
+func (g *Graph) ConflictNeighbors(v int) []int32 { return g.conf[v] }
+
+// StitchNeighbors returns the stitch adjacency of v (read-only).
+func (g *Graph) StitchNeighbors(v int) []int32 { return g.stit[v] }
+
+// FriendNeighbors returns the color-friendly adjacency of v (read-only).
+func (g *Graph) FriendNeighbors(v int) []int32 { return g.friend[v] }
+
+// Edge is an undirected vertex pair with U < V.
+type Edge struct {
+	U, V int
+}
+
+// ConflictEdges returns all conflict edges with U < V, sorted.
+func (g *Graph) ConflictEdges() []Edge { return collectEdges(g.conf) }
+
+// StitchEdges returns all stitch edges with U < V, sorted.
+func (g *Graph) StitchEdges() []Edge { return collectEdges(g.stit) }
+
+func collectEdges(adj [][]int32) []Edge {
+	var out []Edge
+	for u := range adj {
+		for _, v := range adj[u] {
+			if int(v) > u {
+				out = append(out, Edge{U: u, V: int(v)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Components returns the connected components of the graph under the union
+// of conflict and stitch edges (independent component computation of the
+// division pipeline). Each component is a sorted vertex list.
+func (g *Graph) Components() [][]int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		var members []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range g.conf[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					stack = append(stack, int(v))
+				}
+			}
+			for _, v := range g.stit[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					stack = append(stack, int(v))
+				}
+			}
+		}
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// Subgraph extracts the induced subgraph over the given vertices. It returns
+// the new graph and the mapping from new indices to original vertex IDs
+// (which equals the input slice, copied). Edges of every kind are preserved
+// when both endpoints are inside the subset.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
+	idx := make(map[int]int32, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.n {
+			panic(fmt.Sprintf("graph: subgraph vertex %d out of range", v))
+		}
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("graph: subgraph vertex %d repeated", v))
+		}
+		idx[v] = int32(i)
+		orig[i] = v
+	}
+	sub := New(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.conf[v] {
+			if j, ok := idx[int(w)]; ok && int32(i) < j {
+				sub.AddConflict(i, int(j))
+			}
+		}
+		for _, w := range g.stit[v] {
+			if j, ok := idx[int(w)]; ok && int32(i) < j {
+				sub.AddStitch(i, int(j))
+			}
+		}
+		for _, w := range g.friend[v] {
+			if j, ok := idx[int(w)]; ok && int32(i) < j {
+				sub.AddFriend(i, int(j))
+			}
+		}
+	}
+	return sub, orig
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:      g.n,
+		conf:   make([][]int32, g.n),
+		stit:   make([][]int32, g.n),
+		friend: make([][]int32, g.n),
+		nConf:  g.nConf,
+		nStit:  g.nStit,
+	}
+	for i := 0; i < g.n; i++ {
+		c.conf[i] = append([]int32(nil), g.conf[i]...)
+		c.stit[i] = append([]int32(nil), g.stit[i]...)
+		c.friend[i] = append([]int32(nil), g.friend[i]...)
+	}
+	return c
+}
+
+// PeelOrder computes the iterative low-degree vertex removal of Algorithm 2
+// (stage 1) and the division pipeline: repeatedly remove a vertex whose
+// remaining conflict degree is < k and stitch degree is < maxStitch,
+// pushing it onto a stack. It returns the removal stack (in removal order)
+// and the sorted list of remaining "core" vertices. The graph itself is not
+// modified; removal is simulated with degree counters.
+//
+// When a removed vertex is later popped and colored, one of the k colors is
+// always conflict-free because fewer than k conflict neighbors remain — the
+// paper's safety argument.
+func (g *Graph) PeelOrder(k, maxStitch int, active []bool) (stack []int, core []int) {
+	deg := make([]int, g.n)
+	sdeg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	isActive := func(v int) bool { return active == nil || active[v] }
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if !isActive(v) {
+			removed[v] = true // outside the working set; never peeled or core
+			continue
+		}
+		for _, w := range g.conf[v] {
+			if isActive(int(w)) {
+				deg[v]++
+			}
+		}
+		for _, w := range g.stit[v] {
+			if isActive(int(w)) {
+				sdeg[v]++
+			}
+		}
+		if deg[v] < k && sdeg[v] < maxStitch {
+			queue = append(queue, v)
+		}
+	}
+	inQueue := make([]bool, g.n)
+	for _, v := range queue {
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		stack = append(stack, v)
+		for _, w := range g.conf[v] {
+			wi := int(w)
+			if removed[wi] {
+				continue
+			}
+			deg[wi]--
+			if deg[wi] < k && sdeg[wi] < maxStitch && !inQueue[wi] {
+				inQueue[wi] = true
+				queue = append(queue, wi)
+			}
+		}
+		for _, w := range g.stit[v] {
+			wi := int(w)
+			if removed[wi] {
+				continue
+			}
+			sdeg[wi]--
+			if deg[wi] < k && sdeg[wi] < maxStitch && !inQueue[wi] {
+				inQueue[wi] = true
+				queue = append(queue, wi)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if isActive(v) && !removed[v] {
+			core = append(core, v)
+		}
+	}
+	return stack, core
+}
+
+// BiconnectedComponents computes the 2-vertex-connected components of the
+// conflict graph (stitch edges are treated as binding too, since a stitch
+// couples the coloring of its endpoints). It returns one vertex set per
+// block and the articulation (cut) vertices. Isolated vertices form
+// singleton blocks.
+func (g *Graph) BiconnectedComponents() (blocks [][]int, cuts []int) {
+	const none = -1
+	disc := make([]int, g.n)
+	low := make([]int, g.n)
+	parent := make([]int, g.n)
+	isCut := make([]bool, g.n)
+	for i := range disc {
+		disc[i] = none
+		parent[i] = none
+	}
+	timer := 0
+
+	type frame struct {
+		v, parentEdge int
+		childIdx      int
+		children      int
+	}
+	var edgeStack []Edge
+
+	neighbors := func(v int) []int32 {
+		// Combined conflict+stitch adjacency, materialized lazily per call.
+		if len(g.stit[v]) == 0 {
+			return g.conf[v]
+		}
+		out := make([]int32, 0, len(g.conf[v])+len(g.stit[v]))
+		out = append(out, g.conf[v]...)
+		out = append(out, g.stit[v]...)
+		return out
+	}
+
+	popBlock := func(until Edge) []int {
+		seen := map[int]bool{}
+		var verts []int
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			for _, v := range []int{e.U, e.V} {
+				if !seen[v] {
+					seen[v] = true
+					verts = append(verts, v)
+				}
+			}
+			if e == until {
+				break
+			}
+		}
+		sort.Ints(verts)
+		return verts
+	}
+
+	for s := 0; s < g.n; s++ {
+		if disc[s] != none {
+			continue
+		}
+		adj := neighbors(s)
+		if len(adj) == 0 {
+			disc[s] = timer
+			timer++
+			blocks = append(blocks, []int{s})
+			continue
+		}
+		stack := []frame{{v: s, parentEdge: none}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			vAdj := neighbors(v)
+			if f.childIdx < len(vAdj) {
+				w := int(vAdj[f.childIdx])
+				f.childIdx++
+				if w == f.parentEdge {
+					continue
+				}
+				if disc[w] == none {
+					parent[w] = v
+					f.children++
+					e := Edge{U: min(v, w), V: max(v, w)}
+					edgeStack = append(edgeStack, e)
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w, parentEdge: v})
+				} else if disc[w] < disc[v] {
+					e := Edge{U: min(v, w), V: max(v, w)}
+					edgeStack = append(edgeStack, e)
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) == 0 {
+					if f.children >= 2 {
+						isCut[v] = true
+					}
+					continue
+				}
+				p := stack[len(stack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					if parent[p] != none {
+						isCut[p] = true
+					}
+					e := Edge{U: min(p, v), V: max(p, v)}
+					blocks = append(blocks, popBlock(e))
+				}
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if isCut[v] {
+			cuts = append(cuts, v)
+		}
+	}
+	return blocks, cuts
+}

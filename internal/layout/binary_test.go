@@ -1,0 +1,127 @@
+package layout
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpl/internal/geom"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != l.Name || got.Process != l.Process {
+		t.Fatalf("header mismatch: %q %+v", got.Name, got.Process)
+	}
+	if !reflect.DeepEqual(got.Features, l.Features) {
+		t.Fatalf("features mismatch:\n got %v\nwant %v", got.Features, l.Features)
+	}
+}
+
+func TestBinaryNegativeCoordinates(t *testing.T) {
+	l := New("neg")
+	l.AddRect(geom.Rect{X0: -100, Y0: -50, X1: -80, Y1: -30})
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features[0].Rects[0] != (geom.Rect{X0: -100, Y0: -50, X1: -80, Y1: -30}) {
+		t.Fatalf("rect = %v", got.Features[0].Rects[0])
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncations at every prefix length must error, not panic.
+	for cut := 0; cut < len(good); cut += 3 {
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidRect(t *testing.T) {
+	l := New("bad")
+	l.Features = append(l.Features, geom.Polygon{Rects: []geom.Rect{{X0: 5, Y0: 5, X1: 1, Y1: 1}}})
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err == nil {
+		t.Fatal("invalid rect written")
+	}
+}
+
+func TestReadAnyDispatches(t *testing.T) {
+	l := sample()
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "t.lay")
+	bp := filepath.Join(dir, "t.layb")
+	if err := l.WriteFile(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBinaryFile(bp); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{tp, bp} {
+		got, err := ReadAny(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(got.Features) != len(l.Features) {
+			t.Fatalf("%s: %d features", path, len(got.Features))
+		}
+	}
+	if _, err := ReadAny(filepath.Join(dir, "missing.lay")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	l := New("size")
+	for i := 0; i < 500; i++ {
+		l.AddRect(geom.Rect{X0: i * 40, Y0: 0, X1: i*40 + 20, Y1: 20})
+	}
+	var tb, bb bytes.Buffer
+	if err := l.Write(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary (%d) not smaller than text (%d)", bb.Len(), tb.Len())
+	}
+	if !strings.Contains(tb.String(), "layout size") {
+		t.Fatal("text format sanity check failed")
+	}
+}

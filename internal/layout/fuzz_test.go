@@ -1,0 +1,60 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: the text parser must never panic and must round-trip whatever
+// it accepts.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sample().Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("layout x\nfeature\nrect 0 0 1 1\nend\n")
+	f.Add("feature\nrect -5 -5 5 5\nend\n")
+	f.Add("# comment only\n")
+	f.Add("rect 1 2 3 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := l.Write(&buf); err != nil {
+			t.Fatalf("accepted layout failed to serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again.Features) != len(l.Features) {
+			t.Fatalf("round trip changed feature count: %d -> %d", len(l.Features), len(again.Features))
+		}
+	})
+}
+
+// FuzzReadBinary: the binary parser must never panic on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sample().WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("MPLB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		l, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialize cleanly.
+		var buf bytes.Buffer
+		if err := l.WriteBinary(&buf); err != nil {
+			t.Fatalf("accepted binary layout failed to serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMax(t *testing.T) {
+	// maximize 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  → x=2, y=6, obj=36.
+	// As minimization: minimize -3x -5y.
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint(LE, 4, Term{0, 1})
+	p.AddConstraint(LE, 12, Term{1, 2})
+	p.AddConstraint(LE, 18, Term{0, 3}, Term{1, 2})
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !approx(r.Obj, -36) || !approx(r.X[0], 2) || !approx(r.X[1], 6) {
+		t.Fatalf("got obj=%v x=%v", r.Obj, r.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 10, x - y = 2  → x=6, y=4, obj=14.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint(EQ, 10, Term{0, 1}, Term{1, 1})
+	p.AddConstraint(EQ, 2, Term{0, 1}, Term{1, -1})
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !approx(r.X[0], 6) || !approx(r.X[1], 4) || !approx(r.Obj, 14) {
+		t.Fatalf("got %v obj=%v", r.X, r.Obj)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 4, x >= 1 → x=4, y=0? check: obj 2·4=8;
+	// or x=1, y=3 → 2+9=11. So x=4,y=0 obj 8.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint(GE, 4, Term{0, 1}, Term{1, 1})
+	p.AddConstraint(GE, 1, Term{0, 1})
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !approx(r.Obj, 8) {
+		t.Fatalf("obj = %v, want 8 (x=%v)", r.Obj, r.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(GE, 5, Term{0, 1})
+	p.AddConstraint(LE, 3, Term{0, 1})
+	if r := Solve(p); r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint(GE, 0, Term{0, 1})
+	if r := Solve(p); r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -2 with minimize x+y, x,y>=0 → y >= x+2 → x=0, y=2.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(LE, -2, Term{0, 1}, Term{1, -1})
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !approx(r.Obj, 2) || !approx(r.X[1], 2) {
+		t.Fatalf("got %v obj %v", r.X, r.Obj)
+	}
+}
+
+func TestNilObjectiveFeasibility(t *testing.T) {
+	p := &Problem{NumVars: 2}
+	p.AddConstraint(EQ, 3, Term{0, 1}, Term{1, 1})
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !approx(r.X[0]+r.X[1], 3) {
+		t.Fatalf("x = %v", r.X)
+	}
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	// 2x (written as x + x) = 6 → x = 3.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(EQ, 6, Term{0, 1}, Term{0, 1})
+	r := Solve(p)
+	if r.Status != Optimal || !approx(r.X[0], 3) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestDegenerateRedundantConstraints(t *testing.T) {
+	// Redundant equalities exercise the artificial-pivot-out path.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(EQ, 4, Term{0, 1}, Term{1, 1})
+	p.AddConstraint(EQ, 8, Term{0, 2}, Term{1, 2}) // same hyperplane ×2
+	p.AddConstraint(GE, 1, Term{0, 1})
+	r := Solve(p)
+	if r.Status != Optimal || !approx(r.Obj, 4) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestBinaryRelaxationBox(t *testing.T) {
+	// Typical ILP relaxation shape: min -x1 -x2 with x1 + x2 <= 1, x <= 1 boxes.
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddConstraint(LE, 1, Term{0, 1}, Term{1, 1})
+	p.AddConstraint(LE, 1, Term{0, 1})
+	p.AddConstraint(LE, 1, Term{1, 1})
+	r := Solve(p)
+	if r.Status != Optimal || !approx(r.Obj, -1) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestPanicOnBadVarIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad var index did not panic")
+		}
+	}()
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(LE, 1, Term{3, 1})
+	Solve(p)
+}
+
+func TestPanicOnObjectiveMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("objective length mismatch did not panic")
+		}
+	}()
+	Solve(&Problem{NumVars: 2, Objective: []float64{1}})
+}
+
+// TestRandomBinaryCornerBound: random small LPs over the box [0,1]^n with
+// LE constraints (zero point always feasible). The LP optimum must be at
+// least as good as the best feasible binary corner, and the returned point
+// must satisfy every constraint — together a strong sanity check for the
+// relaxations the ILP solver feeds in.
+func TestRandomBinaryCornerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Objective[j] = float64(rng.Intn(11) - 5)
+			p.AddConstraint(LE, 1, Term{j, 1}) // box
+		}
+		for c := 0; c < n; c++ {
+			terms := []Term{}
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{j, float64(1 + rng.Intn(3))})
+				}
+			}
+			if len(terms) > 0 {
+				p.AddConstraint(LE, float64(1+rng.Intn(4)), terms...)
+			}
+		}
+		r := Solve(p)
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		// Brute force over binary corners that satisfy the constraints.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for _, term := range c.Terms {
+					if mask&(1<<term.Var) != 0 {
+						lhs += term.Coef
+					}
+				}
+				if lhs > c.RHS+1e-9 {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += p.Objective[j]
+				}
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+		if r.Obj > best+1e-6 {
+			t.Fatalf("trial %d: LP obj %v worse than best corner %v", trial, r.Obj, best)
+		}
+		// And the LP solution must itself be feasible.
+		for ci, c := range p.Constraints {
+			lhs := 0.0
+			for _, term := range c.Terms {
+				lhs += term.Coef * r.X[term.Var]
+			}
+			switch c.Op {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, ci, lhs, c.RHS)
+				}
+			}
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" ||
+		Status(99).String() != "unknown" {
+		t.Fatal("Status.String mismatch")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Op(9).String() != "?" {
+		t.Fatal("Op.String mismatch")
+	}
+}

@@ -1,0 +1,145 @@
+// Package matrix provides the small dense symmetric-matrix utilities the
+// SDP layer needs: storage, Gram-matrix assembly, and a cyclic Jacobi
+// eigendecomposition used to verify positive semidefiniteness of relaxation
+// solutions in tests (the defining property of the matrix X in Eq. (2)).
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sym is a dense symmetric n×n matrix stored as the full square for simple
+// indexing. Set maintains symmetry.
+type Sym struct {
+	N int
+	a []float64
+}
+
+// NewSym returns a zero symmetric matrix of order n.
+func NewSym(n int) *Sym {
+	if n < 0 {
+		panic("matrix: negative order")
+	}
+	return &Sym{N: n, a: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Sym) At(i, j int) float64 { return m.a[i*m.N+j] }
+
+// Set assigns element (i, j) and mirrors it to (j, i).
+func (m *Sym) Set(i, j int, v float64) {
+	m.a[i*m.N+j] = v
+	m.a[j*m.N+i] = v
+}
+
+// Gram builds the Gram matrix X = VᵀV of the r-dimensional row vectors in
+// vecs: X[i][j] = vecs[i]·vecs[j]. This is exactly how the low-rank SDP
+// solver materializes its solution matrix.
+func Gram(vecs [][]float64) *Sym {
+	n := len(vecs)
+	m := NewSym(n)
+	for i := 0; i < n; i++ {
+		if len(vecs[i]) != len(vecs[0]) {
+			panic(fmt.Sprintf("matrix: ragged vector set (row %d)", i))
+		}
+		for j := i; j < n; j++ {
+			m.Set(i, j, Dot(vecs[i], vecs[j]))
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Eigenvalues computes all eigenvalues of the symmetric matrix with the
+// cyclic Jacobi method. The input is not modified. Results are sorted
+// ascending. Intended for the small matrices (n up to a few hundred) that
+// appear per decomposition-graph component.
+func (m *Sym) Eigenvalues() []float64 {
+	n := m.N
+	if n == 0 {
+		return nil
+	}
+	a := make([]float64, len(m.a))
+	copy(a, m.a)
+	at := func(i, j int) float64 { return a[i*n+j] }
+	set := func(i, j int, v float64) { a[i*n+j] = v }
+
+	off := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += at(i, j) * at(i, j)
+			}
+		}
+		return s
+	}
+	const tol = 1e-22
+	for sweep := 0; sweep < 100 && off() > tol*float64(n*n); sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := at(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := at(p, p), at(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := at(k, p), at(k, q)
+					set(k, p, c*akp-s*akq)
+					set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := at(p, k), at(q, k)
+					set(p, k, c*apk-s*aqk)
+					set(q, k, s*apk+c*aqk)
+				}
+			}
+		}
+	}
+	ev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev[i] = at(i, i)
+	}
+	// Insertion sort: n is small.
+	for i := 1; i < n; i++ {
+		v := ev[i]
+		j := i - 1
+		for j >= 0 && ev[j] > v {
+			ev[j+1] = ev[j]
+			j--
+		}
+		ev[j+1] = v
+	}
+	return ev
+}
+
+// MinEigenvalue returns the smallest eigenvalue (0 for an empty matrix).
+func (m *Sym) MinEigenvalue() float64 {
+	ev := m.Eigenvalues()
+	if len(ev) == 0 {
+		return 0
+	}
+	return ev[0]
+}
+
+// IsPSD reports whether the matrix is positive semidefinite within tol.
+func (m *Sym) IsPSD(tol float64) bool { return m.MinEigenvalue() >= -tol }

@@ -1,0 +1,139 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymSetAt(t *testing.T) {
+	m := NewSym(3)
+	m.Set(0, 2, 5)
+	if m.At(0, 2) != 5 || m.At(2, 0) != 5 {
+		t.Fatalf("symmetry broken: %v %v", m.At(0, 2), m.At(2, 0))
+	}
+}
+
+func TestEigen2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewSym(2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 2)
+	m.Set(0, 1, 1)
+	ev := m.Eigenvalues()
+	if math.Abs(ev[0]-1) > 1e-9 || math.Abs(ev[1]-3) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", ev)
+	}
+}
+
+func TestEigenDiagonal(t *testing.T) {
+	m := NewSym(4)
+	for i, v := range []float64{4, -1, 2, 0} {
+		m.Set(i, i, v)
+	}
+	ev := m.Eigenvalues()
+	want := []float64{-1, 0, 2, 4}
+	for i := range want {
+		if math.Abs(ev[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues = %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestEigenTraceAndPSD(t *testing.T) {
+	// Random Gram matrices are PSD; eigenvalue sum equals trace.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		r := 1 + rng.Intn(4)
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = make([]float64, r)
+			for j := range vecs[i] {
+				vecs[i][j] = rng.NormFloat64()
+			}
+		}
+		g := Gram(vecs)
+		if !g.IsPSD(1e-8) {
+			t.Fatalf("Gram matrix not PSD (min ev %v)", g.MinEigenvalue())
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += g.At(i, i)
+		}
+		sum := 0.0
+		for _, ev := range g.Eigenvalues() {
+			sum += ev
+		}
+		if math.Abs(trace-sum) > 1e-7*(1+math.Abs(trace)) {
+			t.Fatalf("trace %v != eigenvalue sum %v", trace, sum)
+		}
+	}
+}
+
+func TestNotPSD(t *testing.T) {
+	m := NewSym(2)
+	m.Set(0, 1, 1) // eigenvalues ±1
+	if m.IsPSD(1e-9) {
+		t.Fatal("indefinite matrix reported PSD")
+	}
+}
+
+func TestGramUnitVectors(t *testing.T) {
+	// The four coloring vectors of Fig. 3: pairwise inner product −1/3.
+	s2, s6 := math.Sqrt(2), math.Sqrt(6)
+	vecs := [][]float64{
+		{0, 0, 1},
+		{0, 2 * s2 / 3, -1.0 / 3},
+		{s6 / 3, -s2 / 3, -1.0 / 3},
+		{-s6 / 3, -s2 / 3, -1.0 / 3},
+	}
+	g := Gram(vecs)
+	for i := 0; i < 4; i++ {
+		if math.Abs(g.At(i, i)-1) > 1e-12 {
+			t.Fatalf("vector %d not unit: %v", i, g.At(i, i))
+		}
+		for j := i + 1; j < 4; j++ {
+			if math.Abs(g.At(i, j)+1.0/3) > 1e-12 {
+				t.Fatalf("inner product (%d,%d) = %v, want -1/3", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if math.Abs(Norm([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewSym(-1) },
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+		func() { Gram([][]float64{{1, 2}, {1}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewSym(0)
+	if ev := m.Eigenvalues(); ev != nil {
+		t.Fatalf("empty eigenvalues = %v", ev)
+	}
+	if m.MinEigenvalue() != 0 {
+		t.Fatal("empty MinEigenvalue != 0")
+	}
+}

@@ -1,0 +1,171 @@
+// Package maxflow implements Dinic's blocking-flow maximum-flow algorithm,
+// the network-flow engine behind the Gomory–Hu tree construction of
+// Section 4.1 (the paper cites Dinic [22] for exactly this role).
+//
+// The network is directed internally; AddUndirectedEdge inserts the
+// symmetric pair used when cutting the undirected decomposition graph.
+package maxflow
+
+import "fmt"
+
+const inf = int64(1) << 62
+
+// Network is a flow network over vertices [0, n).
+type Network struct {
+	n     int
+	to    []int32
+	cap   []int64
+	base  []int64 // original capacities, for Reset
+	head  [][]int32
+	level []int32
+	iter  []int32
+}
+
+// NewNetwork returns an empty network with n vertices.
+func NewNetwork(n int) *Network {
+	return &Network{
+		n:     n,
+		head:  make([][]int32, n),
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+	}
+}
+
+// N returns the vertex count.
+func (nw *Network) N() int { return nw.n }
+
+func (nw *Network) addArc(u, v int, c int64) {
+	nw.head[u] = append(nw.head[u], int32(len(nw.to)))
+	nw.to = append(nw.to, int32(v))
+	nw.cap = append(nw.cap, c)
+	nw.base = append(nw.base, c)
+}
+
+// AddEdge inserts a directed edge u→v with the given capacity (plus the
+// zero-capacity reverse residual arc).
+func (nw *Network) AddEdge(u, v int, c int64) {
+	nw.checkPair(u, v)
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	nw.addArc(u, v, c)
+	nw.addArc(v, u, 0)
+}
+
+// AddUndirectedEdge inserts an undirected edge with capacity c in each
+// direction, the standard encoding for undirected min-cut.
+func (nw *Network) AddUndirectedEdge(u, v int, c int64) {
+	nw.checkPair(u, v)
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	nw.addArc(u, v, c)
+	nw.addArc(v, u, c)
+}
+
+func (nw *Network) checkPair(u, v int) {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, nw.n))
+	}
+	if u == v {
+		panic("maxflow: self-loop")
+	}
+}
+
+// Reset restores all residual capacities to their original values so the
+// network can be reused for another max-flow computation (the Gomory–Hu
+// construction runs n−1 flows over the same network).
+func (nw *Network) Reset() {
+	copy(nw.cap, nw.base)
+}
+
+func (nw *Network) bfs(s, t int) bool {
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := make([]int32, 0, nw.n)
+	queue = append(queue, int32(s))
+	nw.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range nw.head[u] {
+			v := nw.to[ei]
+			if nw.cap[ei] > 0 && nw.level[v] < 0 {
+				nw.level[v] = nw.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+func (nw *Network) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; nw.iter[u] < int32(len(nw.head[u])); nw.iter[u]++ {
+		ei := nw.head[u][nw.iter[u]]
+		v := nw.to[ei]
+		if nw.cap[ei] <= 0 || nw.level[v] != nw.level[u]+1 {
+			continue
+		}
+		d := nw.dfs(int(v), t, min64(f, nw.cap[ei]))
+		if d > 0 {
+			nw.cap[ei] -= d
+			nw.cap[ei^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxFlow computes the maximum s–t flow on the current residual network.
+// Call Reset first to start from original capacities.
+func (nw *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	var flow int64
+	for nw.bfs(s, t) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for {
+			f := nw.dfs(s, t, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// MinCutSide returns the set of vertices reachable from s in the residual
+// network after a MaxFlow(s, t) call: the s-side of a minimum cut. The
+// returned slice is a membership mask of length N.
+func (nw *Network) MinCutSide(s int) []bool {
+	side := make([]bool, nw.n)
+	stack := []int32{int32(s)}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range nw.head[u] {
+			v := nw.to[ei]
+			if nw.cap[ei] > 0 && !side[v] {
+				side[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,198 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(1, 2, 3)
+	if got := nw.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("MaxFlow = %d, want 3", got)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS figure: max flow 23.
+	nw := NewNetwork(6)
+	nw.AddEdge(0, 1, 16)
+	nw.AddEdge(0, 2, 13)
+	nw.AddEdge(1, 2, 10)
+	nw.AddEdge(2, 1, 4)
+	nw.AddEdge(1, 3, 12)
+	nw.AddEdge(3, 2, 9)
+	nw.AddEdge(2, 4, 14)
+	nw.AddEdge(4, 3, 7)
+	nw.AddEdge(3, 5, 20)
+	nw.AddEdge(4, 5, 4)
+	if got := nw.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("MaxFlow = %d, want 23", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 7)
+	nw.AddEdge(2, 3, 7)
+	if got := nw.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("MaxFlow = %d, want 0", got)
+	}
+}
+
+func TestUndirectedTriangle(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddUndirectedEdge(0, 1, 1)
+	nw.AddUndirectedEdge(1, 2, 1)
+	nw.AddUndirectedEdge(0, 2, 1)
+	if got := nw.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("triangle cut = %d, want 2", got)
+	}
+}
+
+func TestResetAllowsReuse(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddUndirectedEdge(0, 1, 4)
+	nw.AddUndirectedEdge(1, 2, 2)
+	first := nw.MaxFlow(0, 2)
+	nw.Reset()
+	second := nw.MaxFlow(0, 2)
+	if first != 2 || second != 2 {
+		t.Fatalf("flows = %d, %d; want 2, 2", first, second)
+	}
+	nw.Reset()
+	if got := nw.MaxFlow(0, 1); got != 4 {
+		t.Fatalf("reused flow = %d, want 4", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	// Bottleneck between 1 and 2: cut side should be {0, 1}.
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 10)
+	nw.AddEdge(1, 2, 1)
+	nw.AddEdge(2, 3, 10)
+	if got := nw.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("flow = %d", got)
+	}
+	side := nw.MinCutSide(0)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Fatalf("MinCutSide = %v, want %v", side, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNetwork(2).AddEdge(0, 0, 1) },
+		func() { NewNetwork(2).AddEdge(0, 5, 1) },
+		func() { NewNetwork(2).AddEdge(0, 1, -1) },
+		func() { NewNetwork(2).AddUndirectedEdge(0, 1, -2) },
+		func() { NewNetwork(2).MaxFlow(1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// brute-force min cut by enumerating vertex bipartitions (undirected, unit
+// capacities) for cross-checking Dinic on small graphs.
+func bruteMinCut(n int, edges [][2]int, s, t int) int64 {
+	best := int64(1) << 60
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var cut int64
+		for _, e := range edges {
+			a := mask&(1<<e[0]) != 0
+			b := mask&(1<<e[1]) != 0
+			if a != b {
+				cut++
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMatchesBruteForceOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		var edges [][2]int
+		nw := NewNetwork(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+			nw.AddUndirectedEdge(u, v, 1)
+		}
+		s := 0
+		tt := 1 + rng.Intn(n-1)
+		got := nw.MaxFlow(s, tt)
+		want := bruteMinCut(n, edges, s, tt)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCutSideSeparates(t *testing.T) {
+	// Property: after max-flow, the residual-reachable side never contains t,
+	// and the cut capacity across the side equals the flow value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		nw := NewNetwork(n)
+		type e struct {
+			u, v int
+			c    int64
+		}
+		var edges []e
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(1 + rng.Intn(5))
+			edges = append(edges, e{u, v, c})
+			nw.AddUndirectedEdge(u, v, c)
+		}
+		s, tt := 0, n-1
+		flow := nw.MaxFlow(s, tt)
+		side := nw.MinCutSide(s)
+		if side[tt] && flow < (1<<60) {
+			// t reachable means flow was not maximal (only possible if
+			// truly disconnected... then flow is 0 and side must not reach t
+			// unless connected). Treat as failure.
+			return false
+		}
+		var cut int64
+		for _, ed := range edges {
+			if side[ed.u] != side[ed.v] {
+				cut += ed.c
+			}
+		}
+		return cut == flow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

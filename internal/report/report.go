@@ -1,0 +1,218 @@
+// Package report formats the evaluation tables of the DAC'14 paper: one
+// row per circuit, one column group (cn#, st#, CPU) per algorithm, followed
+// by the paper's "avg." and "ratio" summary rows. cmd/evaluate feeds it
+// measurement cells; keeping the arithmetic here makes the summary
+// semantics (N/A handling, partial averages, baseline ratios) testable.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Cell is one measurement: conflicts, stitches, color-assignment seconds.
+// NA marks an exact run that exceeded its budget (the paper's ">3600s").
+type Cell struct {
+	Conflicts int
+	Stitches  int
+	CPU       float64
+	NA        bool
+}
+
+// Table accumulates rows for a fixed list of algorithm columns.
+type Table struct {
+	Title    string
+	Columns  []string // algorithm names, in print order
+	Baseline string   // column used as the ratio denominator
+	rows     []row
+}
+
+type row struct {
+	name  string
+	frags int
+	cells []Cell
+}
+
+// New returns an empty table with the given columns. baseline must be one
+// of the columns; it anchors the ratio row at 1.0 (the paper uses
+// SDP+Backtrack).
+func New(title string, columns []string, baseline string) *Table {
+	found := false
+	for _, c := range columns {
+		if c == baseline {
+			found = true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("report: baseline %q not among columns %v", baseline, columns))
+	}
+	return &Table{Title: title, Columns: append([]string(nil), columns...), Baseline: baseline}
+}
+
+// AddRow appends one circuit's measurements; cells must match the column
+// count and order.
+func (t *Table) AddRow(circuit string, fragments int, cells []Cell) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row %s has %d cells for %d columns", circuit, len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{name: circuit, frags: fragments, cells: append([]Cell(nil), cells...)})
+}
+
+// Summary holds the aggregate of one column.
+type Summary struct {
+	// MeanConflicts / MeanStitches average the completed (non-NA) rows.
+	MeanConflicts float64
+	MeanStitches  float64
+	// MeanCPU averages over all rows; NA rows contribute their consumed
+	// budget, so the value is a lower bound when Partial is set.
+	MeanCPU float64
+	// Partial is true when at least one row was NA.
+	Partial bool
+	// Completed counts non-NA rows.
+	Completed int
+}
+
+// Summarize computes per-column aggregates.
+func (t *Table) Summarize() map[string]Summary {
+	out := make(map[string]Summary, len(t.Columns))
+	for ci, col := range t.Columns {
+		var s Summary
+		for _, r := range t.rows {
+			c := r.cells[ci]
+			s.MeanCPU += c.CPU
+			if c.NA {
+				s.Partial = true
+				continue
+			}
+			s.MeanConflicts += float64(c.Conflicts)
+			s.MeanStitches += float64(c.Stitches)
+			s.Completed++
+		}
+		if s.Completed > 0 {
+			s.MeanConflicts /= float64(s.Completed)
+			s.MeanStitches /= float64(s.Completed)
+		}
+		if len(t.rows) > 0 {
+			s.MeanCPU /= float64(len(t.rows))
+		}
+		out[col] = s
+	}
+	return out
+}
+
+// Ratio holds one column's summary normalized by the baseline column.
+type Ratio struct {
+	Conflicts float64
+	Stitches  float64
+	CPU       float64
+	// Defined is false when the column cannot be compared (it has NA rows,
+	// so its means are not commensurate with the baseline's).
+	Defined bool
+}
+
+// Ratios returns per-column ratios against the baseline (baseline = 1.0).
+func (t *Table) Ratios() map[string]Ratio {
+	sums := t.Summarize()
+	base := sums[t.Baseline]
+	out := make(map[string]Ratio, len(t.Columns))
+	for _, col := range t.Columns {
+		s := sums[col]
+		if s.Partial {
+			out[col] = Ratio{}
+			continue
+		}
+		out[col] = Ratio{
+			Conflicts: safeDiv(s.MeanConflicts, base.MeanConflicts),
+			Stitches:  safeDiv(s.MeanStitches, base.MeanStitches),
+			CPU:       safeDiv(s.MeanCPU, base.MeanCPU),
+			Defined:   true,
+		}
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return a / b
+}
+
+// Write renders the table in the harness's plain-text format.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	header := fmt.Sprintf("%-8s %9s", "Circuit", "frags")
+	for _, c := range t.Columns {
+		header += fmt.Sprintf(" | %-24s", c)
+	}
+	sub := fmt.Sprintf("%-8s %9s", "", "")
+	for range t.Columns {
+		sub += fmt.Sprintf(" | %6s %6s %9s", "cn#", "st#", "CPU(s)")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sub); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		line := fmt.Sprintf("%-8s %9d", r.name, r.frags)
+		for _, c := range r.cells {
+			if c.NA {
+				line += fmt.Sprintf(" | %6s %6s %9s", "N/A", "N/A", fmt.Sprintf(">%.0f", c.CPU))
+			} else {
+				line += fmt.Sprintf(" | %6d %6d %9.3f", c.Conflicts, c.Stitches, c.CPU)
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(sub))); err != nil {
+		return err
+	}
+
+	sums := t.Summarize()
+	avgLine := fmt.Sprintf("%-8s %9s", "avg.", "-")
+	for _, col := range t.Columns {
+		s := sums[col]
+		mark := " "
+		if s.Partial {
+			mark = ">"
+		}
+		avgLine += fmt.Sprintf(" | %6.1f %6.1f %s%8.3f", s.MeanConflicts, s.MeanStitches, mark, s.MeanCPU)
+	}
+	if _, err := fmt.Fprintln(w, avgLine); err != nil {
+		return err
+	}
+
+	ratios := t.Ratios()
+	ratioLine := fmt.Sprintf("%-8s %9s", "ratio", "-")
+	for _, col := range t.Columns {
+		r := ratios[col]
+		if !r.Defined {
+			ratioLine += fmt.Sprintf(" | %6s %6s %9s", "-", "-", "-")
+			continue
+		}
+		ratioLine += fmt.Sprintf(" | %6.2f %6.2f %9.4f", r.Conflicts, r.Stitches, r.CPU)
+	}
+	_, err := fmt.Fprintln(w, ratioLine)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Write(&sb); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", []string{"ILP", "SDP+Backtrack", "Linear"}, "SDP+Backtrack")
+	t.AddRow("C432", 100, []Cell{
+		{Conflicts: 2, Stitches: 0, CPU: 0.6},
+		{Conflicts: 2, Stitches: 0, CPU: 0.24},
+		{Conflicts: 2, Stitches: 1, CPU: 0.001},
+	})
+	t.AddRow("S35932", 5000, []Cell{
+		{CPU: 3600, NA: true},
+		{Conflicts: 50, Stitches: 1745, CPU: 28.7},
+		{Conflicts: 64, Stitches: 1927, CPU: 0.15},
+	})
+	return t
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize()
+	ilp := s["ILP"]
+	if !ilp.Partial || ilp.Completed != 1 {
+		t.Fatalf("ILP summary = %+v", ilp)
+	}
+	if !approx(ilp.MeanConflicts, 2) {
+		t.Fatalf("ILP mean conflicts = %v", ilp.MeanConflicts)
+	}
+	if !approx(ilp.MeanCPU, (0.6+3600)/2) {
+		t.Fatalf("ILP mean CPU = %v", ilp.MeanCPU)
+	}
+	bt := s["SDP+Backtrack"]
+	if bt.Partial || !approx(bt.MeanConflicts, 26) || !approx(bt.MeanStitches, 872.5) {
+		t.Fatalf("BT summary = %+v", bt)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := sample().Ratios()
+	if r["ILP"].Defined {
+		t.Fatal("partial column must have undefined ratio")
+	}
+	bt := r["SDP+Backtrack"]
+	if !bt.Defined || !approx(bt.Conflicts, 1) || !approx(bt.Stitches, 1) || !approx(bt.CPU, 1) {
+		t.Fatalf("baseline ratio = %+v", bt)
+	}
+	lin := r["Linear"]
+	if !lin.Defined || !approx(lin.Conflicts, 33.0/26.0) {
+		t.Fatalf("linear conflict ratio = %+v", lin)
+	}
+	if lin.CPU > 0.01 {
+		t.Fatalf("linear CPU ratio = %v, want tiny", lin.CPU)
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{
+		"# demo",
+		"Circuit",
+		"C432",
+		"S35932",
+		"N/A",
+		">3600",
+		"avg.",
+		"ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The NA column's ratio must print dashes.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "-") {
+		t.Fatalf("ratio line = %q", last)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := New("empty", []string{"A"}, "A")
+	s := tbl.Summarize()["A"]
+	if s.MeanCPU != 0 || s.Completed != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if out := tbl.String(); !strings.Contains(out, "avg.") {
+		t.Fatalf("empty table output:\n%s", out)
+	}
+}
+
+func TestBadBaselinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad baseline did not panic")
+		}
+	}()
+	New("x", []string{"A"}, "B")
+}
+
+func TestBadRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row did not panic")
+		}
+	}()
+	New("x", []string{"A", "B"}, "A").AddRow("r", 1, []Cell{{}})
+}
+
+func TestSafeDiv(t *testing.T) {
+	if safeDiv(0, 0) != 1 {
+		t.Fatal("0/0 should read as ratio 1 (both algorithms perfect)")
+	}
+	if safeDiv(3, 0) != 0 {
+		t.Fatal("x/0 should collapse to 0 (incomparable)")
+	}
+	if !approx(safeDiv(3, 2), 1.5) {
+		t.Fatal("plain division broken")
+	}
+}

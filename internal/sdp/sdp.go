@@ -1,0 +1,348 @@
+// Package sdp solves the semidefinite relaxation at the core of the DAC'14
+// framework (Eq. (2) for quadruple patterning, Eq. (3) for general K):
+//
+//	min  Σ_{e_ij ∈ CE} v_i·v_j  −  α · Σ_{e_ij ∈ SE} v_i·v_j
+//	s.t. v_i·v_i  =  1            ∀ i ∈ V
+//	     v_i·v_j  ≥ −1/(K−1)      ∀ e_ij ∈ CE
+//
+// The paper solves this with the interior-point solver CSDP. This package
+// substitutes a low-rank Burer–Monteiro formulation: the PSD matrix X is
+// factored as X = VᵀV with V ∈ R^{r×n}, the unit-norm constraints are
+// enforced by explicit renormalization (a Riemannian projection), and the
+// conflict-edge inequalities by a smooth quadratic penalty with an
+// escalating weight. Projected gradient descent with backtracking line
+// search and deterministic multi-restart then minimizes the objective.
+// Downstream consumers (SDP+Backtrack's t_th = 0.9 merge threshold,
+// SDP+Greedy's descending-x_ij union order) only need the Gram entries
+// x_ij = v_i·v_j to near-optimal accuracy, which this delivers on the small
+// per-component problems produced by graph division. See DESIGN.md §2 for
+// the substitution rationale.
+package sdp
+
+import (
+	"math"
+	"math/rand"
+
+	"mpl/internal/graph"
+	"mpl/internal/matrix"
+)
+
+// Options configures a relaxation solve.
+type Options struct {
+	// K is the number of masks (colors); must be ≥ 2. The conflict target
+	// inner product is −1/(K−1).
+	K int
+	// Alpha is the stitch weight α in the objective (paper: 0.1).
+	Alpha float64
+	// Rank is the factorization rank r; 0 picks max(K, ⌈√(2n)⌉) capped at n.
+	Rank int
+	// Restarts is the number of random restarts; 0 means 3.
+	Restarts int
+	// MaxIter bounds gradient iterations per restart; 0 means 400.
+	MaxIter int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.K < 2 {
+		panic("sdp: K must be >= 2")
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400
+	}
+	if o.Rank <= 0 {
+		r := int(math.Ceil(math.Sqrt(float64(2 * n))))
+		if r < o.K {
+			r = o.K
+		}
+		o.Rank = r
+	}
+	if o.Rank > n && n > 0 {
+		o.Rank = n
+	}
+	if o.Rank < 1 {
+		o.Rank = 1
+	}
+	return o
+}
+
+// Solution is the relaxation output.
+type Solution struct {
+	// Vectors holds the n unit rows of V (dimension r each).
+	Vectors [][]float64
+	// Obj is the relaxation objective Σ_CE x_ij − α·Σ_SE x_ij.
+	Obj float64
+	// MaxViolation is the largest conflict-constraint violation
+	// max(0, −1/(K−1) − x_ij) over CE; near zero for a converged solve.
+	MaxViolation float64
+}
+
+// X returns the Gram matrix of the solution vectors.
+func (s *Solution) X() *matrix.Sym { return matrix.Gram(s.Vectors) }
+
+// Pair returns x_ij = v_i·v_j.
+func (s *Solution) Pair(i, j int) float64 {
+	return matrix.Dot(s.Vectors[i], s.Vectors[j])
+}
+
+// Solve runs the relaxation on the decomposition graph g.
+func Solve(g *graph.Graph, opts Options) *Solution {
+	n := g.N()
+	opts = opts.withDefaults(n)
+	if n == 0 {
+		return &Solution{}
+	}
+
+	ce := g.ConflictEdges()
+	se := g.StitchEdges()
+	target := -1.0 / float64(opts.K-1)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *state
+	for restart := 0; restart < opts.Restarts; restart++ {
+		st := newState(n, opts.Rank, rng)
+		st.descend(ce, se, opts, target)
+		if best == nil || st.score(ce, target) < best.score(ce, target) {
+			best = st
+		}
+	}
+
+	sol := &Solution{Vectors: best.v}
+	sol.Obj, sol.MaxViolation = evaluate(best.v, ce, se, opts.Alpha, target)
+	return sol
+}
+
+type state struct {
+	v    [][]float64 // n unit rows
+	grad [][]float64
+}
+
+func newState(n, r int, rng *rand.Rand) *state {
+	st := &state{
+		v:    make([][]float64, n),
+		grad: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		st.v[i] = make([]float64, r)
+		st.grad[i] = make([]float64, r)
+		for j := 0; j < r; j++ {
+			st.v[i][j] = rng.NormFloat64()
+		}
+		normalize(st.v[i])
+	}
+	return st
+}
+
+func normalize(v []float64) {
+	n := matrix.Norm(v)
+	if n < 1e-12 {
+		v[0] = 1
+		for i := 1; i < len(v); i++ {
+			v[i] = 0
+		}
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// penalized returns the penalty-augmented objective.
+func penalized(v [][]float64, ce, se []graph.Edge, alpha, target, beta float64) float64 {
+	f := 0.0
+	for _, e := range ce {
+		x := matrix.Dot(v[e.U], v[e.V])
+		f += x
+		if d := target - x; d > 0 {
+			f += beta * d * d
+		}
+	}
+	for _, e := range se {
+		f -= alpha * matrix.Dot(v[e.U], v[e.V])
+	}
+	return f
+}
+
+// evaluate returns the raw relaxation objective and max constraint violation.
+func evaluate(v [][]float64, ce, se []graph.Edge, alpha, target float64) (obj, viol float64) {
+	for _, e := range ce {
+		x := matrix.Dot(v[e.U], v[e.V])
+		obj += x
+		if d := target - x; d > viol {
+			viol = d
+		}
+	}
+	for _, e := range se {
+		obj -= alpha * matrix.Dot(v[e.U], v[e.V])
+	}
+	return obj, viol
+}
+
+// score ranks restarts: raw objective plus a strong penalty on violations so
+// infeasible local optima lose against feasible ones.
+func (st *state) score(ce []graph.Edge, target float64) float64 {
+	obj := 0.0
+	for _, e := range ce {
+		x := matrix.Dot(st.v[e.U], st.v[e.V])
+		obj += x
+		if d := target - x; d > 0 {
+			obj += 50 * d * d
+		}
+	}
+	return obj
+}
+
+// descend runs projected gradient descent with an escalating penalty weight.
+func (st *state) descend(ce, se []graph.Edge, opts Options, target float64) {
+	n := len(st.v)
+	if n == 0 {
+		return
+	}
+	r := len(st.v[0])
+	step := 0.5
+	beta := 4.0
+	const betaMax = 1 << 17
+	fPrev := penalized(st.v, ce, se, opts.Alpha, target, beta)
+	stale := 0
+	escalate := func() bool {
+		// Converged at the current penalty weight: tighten the constraint
+		// enforcement and continue, or finish once β is high enough that
+		// the residual violation is negligible (≈ 1/(2β)).
+		if beta >= betaMax {
+			return false
+		}
+		beta *= 4
+		fPrev = penalized(st.v, ce, se, opts.Alpha, target, beta)
+		stale = 0
+		step = math.Max(step, 0.05)
+		return true
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range st.grad {
+			for j := range st.grad[i] {
+				st.grad[i][j] = 0
+			}
+		}
+		for _, e := range ce {
+			x := matrix.Dot(st.v[e.U], st.v[e.V])
+			w := 1.0
+			if d := target - x; d > 0 {
+				w -= 2 * beta * d
+			}
+			axpy(st.grad[e.U], w, st.v[e.V])
+			axpy(st.grad[e.V], w, st.v[e.U])
+		}
+		for _, e := range se {
+			axpy(st.grad[e.U], -opts.Alpha, st.v[e.V])
+			axpy(st.grad[e.V], -opts.Alpha, st.v[e.U])
+		}
+		// Project out the radial component (Riemannian gradient) and
+		// measure its magnitude for the stopping test.
+		gnorm := 0.0
+		for i := 0; i < n; i++ {
+			radial := matrix.Dot(st.grad[i], st.v[i])
+			axpy(st.grad[i], -radial, st.v[i])
+			gnorm += matrix.Dot(st.grad[i], st.grad[i])
+		}
+		if gnorm < 1e-12*float64(n) {
+			if !escalate() {
+				break
+			}
+			continue
+		}
+
+		// Backtracking line search along the projected direction.
+		saved := make([]float64, n*r)
+		for i := 0; i < n; i++ {
+			copy(saved[i*r:(i+1)*r], st.v[i])
+		}
+		improved := false
+		for try := 0; try < 12; try++ {
+			for i := 0; i < n; i++ {
+				copy(st.v[i], saved[i*r:(i+1)*r])
+				axpy(st.v[i], -step, st.grad[i])
+				normalize(st.v[i])
+			}
+			f := penalized(st.v, ce, se, opts.Alpha, target, beta)
+			if f < fPrev-1e-12 {
+				fPrev = f
+				improved = true
+				step *= 1.3
+				break
+			}
+			step *= 0.5
+		}
+		if !improved {
+			for i := 0; i < n; i++ {
+				copy(st.v[i], saved[i*r:(i+1)*r])
+			}
+			stale++
+			if stale > 3 {
+				if !escalate() {
+					break
+				}
+			}
+		} else {
+			stale = 0
+		}
+	}
+}
+
+func axpy(dst []float64, a float64, x []float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// IdealVectors returns the K unit vectors in R^(K−1) whose pairwise inner
+// products are all −1/(K−1) — the generalization of the four Fig. 3 vectors
+// (for K = 4 they span the regular tetrahedron). They exist for every K ≥ 2
+// and realize the discrete solutions of Eq. (1)/(3).
+func IdealVectors(k int) [][]float64 {
+	if k < 2 {
+		panic("sdp: IdealVectors needs k >= 2")
+	}
+	// Cholesky of the Gram matrix G = (1+1/(k-1))·I − 1/(k−1)·J restricted
+	// to rank k−1: the first k−1 vectors come out of the factorization, the
+	// k-th is the negative sum of the others divided by... simpler: run a
+	// rank-revealing Cholesky on the full k×k Gram matrix.
+	c := -1.0 / float64(k-1)
+	g := matrix.NewSym(k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				g.Set(i, j, 1)
+			} else {
+				g.Set(i, j, c)
+			}
+		}
+	}
+	vecs := make([][]float64, k)
+	for i := range vecs {
+		vecs[i] = make([]float64, k-1)
+	}
+	// L[i][j] for j ≤ min(i, k-2): standard Cholesky truncated to k−1
+	// columns (the matrix has rank k−1, so the last pivot vanishes).
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i && j < k-1; j++ {
+			sum := g.At(i, j)
+			for p := 0; p < j; p++ {
+				sum -= vecs[i][p] * vecs[j][p]
+			}
+			if i == j {
+				if sum < 0 {
+					sum = 0
+				}
+				vecs[i][j] = math.Sqrt(sum)
+			} else {
+				vecs[i][j] = sum / vecs[j][j]
+			}
+		}
+	}
+	return vecs
+}

@@ -1,0 +1,131 @@
+// Package spatial provides a uniform grid index over rectangles for fast
+// neighborhood queries. The decomposer uses it to find all features within
+// the minimum coloring distance (conflict edges) and within the
+// color-friendly band (mins, mins+hp) without an O(n²) scan.
+package spatial
+
+import "mpl/internal/geom"
+
+// Grid is a uniform bucket grid over rectangle bounding boxes. Each entry is
+// identified by the integer ID supplied at insertion. Entries are bucketed by
+// every cell their bounding box overlaps, so queries must deduplicate; the
+// Grid handles that internally with a visit-stamp array.
+type Grid struct {
+	cell    int // cell edge length
+	minX    int
+	minY    int
+	cols    int
+	rows    int
+	buckets [][]int32
+	bounds  []geom.Rect // per-ID bounding boxes
+	stamp   []int32     // visit stamps for deduplication
+	visit   int32
+}
+
+// NewGrid creates a grid covering the world rectangle with the given cell
+// size. The cell size should be on the order of the query radius; the
+// decomposer uses mins+hp. capHint sizes the per-ID tables.
+func NewGrid(world geom.Rect, cell int, capHint int) *Grid {
+	if cell < 1 {
+		cell = 1
+	}
+	cols := (world.Width() + cell - 1) / cell
+	rows := (world.Height() + cell - 1) / cell
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		cell:    cell,
+		minX:    world.X0,
+		minY:    world.Y0,
+		cols:    cols,
+		rows:    rows,
+		buckets: make([][]int32, cols*rows),
+		bounds:  make([]geom.Rect, 0, capHint),
+		stamp:   make([]int32, 0, capHint),
+	}
+}
+
+func (g *Grid) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(r int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// cellRange returns the inclusive cell index range overlapped by r.
+func (g *Grid) cellRange(r geom.Rect) (c0, r0, c1, r1 int) {
+	c0 = g.clampCol((r.X0 - g.minX) / g.cell)
+	c1 = g.clampCol((r.X1 - 1 - g.minX) / g.cell)
+	r0 = g.clampRow((r.Y0 - g.minY) / g.cell)
+	r1 = g.clampRow((r.Y1 - 1 - g.minY) / g.cell)
+	return
+}
+
+// Insert adds a rectangle under the next sequential ID (0, 1, 2, ...) and
+// returns that ID. IDs are dense and stable.
+func (g *Grid) Insert(r geom.Rect) int {
+	id := int32(len(g.bounds))
+	g.bounds = append(g.bounds, r)
+	g.stamp = append(g.stamp, 0)
+	c0, r0, c1, r1 := g.cellRange(r)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			idx := row*g.cols + col
+			g.buckets[idx] = append(g.buckets[idx], id)
+		}
+	}
+	return int(id)
+}
+
+// Len returns the number of inserted rectangles.
+func (g *Grid) Len() int { return len(g.bounds) }
+
+// Bounds returns the bounding box stored for id.
+func (g *Grid) Bounds(id int) geom.Rect { return g.bounds[id] }
+
+// Near calls fn for every stored ID whose bounding box gap distance to the
+// query rectangle is at most radius (squared comparison, exact integer
+// arithmetic). Each ID is reported once per query; the query ID itself is
+// reported too if it matches, so callers filter self-pairs.
+func (g *Grid) Near(q geom.Rect, radius int, fn func(id int)) {
+	g.visit++
+	if g.visit == 0 { // stamp wrapped; reset
+		for i := range g.stamp {
+			g.stamp[i] = 0
+		}
+		g.visit = 1
+	}
+	rr := int64(radius) * int64(radius)
+	expanded := q.Expand(radius)
+	c0, r0, c1, r1 := g.cellRange(expanded)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, id := range g.buckets[row*g.cols+col] {
+				if g.stamp[id] == g.visit {
+					continue
+				}
+				g.stamp[id] = g.visit
+				if geom.GapSq(q, g.bounds[id]) <= rr {
+					fn(int(id))
+				}
+			}
+		}
+	}
+}

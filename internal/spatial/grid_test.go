@@ -1,0 +1,124 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpl/internal/geom"
+)
+
+func collect(g *Grid, q geom.Rect, radius int) []int {
+	var out []int
+	g.Near(q, radius, func(id int) { out = append(out, id) })
+	sort.Ints(out)
+	return out
+}
+
+func TestGridBasicQuery(t *testing.T) {
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}, 50, 4)
+	a := g.Insert(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10})
+	b := g.Insert(geom.Rect{X0: 30, Y0: 0, X1: 40, Y1: 10})
+	c := g.Insert(geom.Rect{X0: 500, Y0: 500, X1: 510, Y1: 510})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	got := collect(g, g.Bounds(a), 25)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("Near = %v, want [a b]", got)
+	}
+	got = collect(g, g.Bounds(a), 19)
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("Near tight = %v, want only a (gap is exactly 20)", got)
+	}
+	got = collect(g, g.Bounds(a), 20)
+	if len(got) != 2 {
+		t.Fatalf("Near radius==gap = %v, want inclusive match", got)
+	}
+	got = collect(g, g.Bounds(c), 100)
+	if len(got) != 1 || got[0] != c {
+		t.Fatalf("far query = %v", got)
+	}
+}
+
+func TestGridDeduplicates(t *testing.T) {
+	// A rectangle spanning many cells must still be reported once.
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}, 10, 1)
+	id := g.Insert(geom.Rect{X0: 0, Y0: 0, X1: 900, Y1: 15})
+	got := collect(g, geom.Rect{X0: 400, Y0: 0, X1: 410, Y1: 10}, 5)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("Near = %v, want exactly one report", got)
+	}
+}
+
+func TestGridQueryOutsideWorld(t *testing.T) {
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}, 20, 1)
+	id := g.Insert(geom.Rect{X0: 90, Y0: 90, X1: 99, Y1: 99})
+	// Query beyond the world bounds should clamp, not panic.
+	got := collect(g, geom.Rect{X0: 150, Y0: 150, X1: 160, Y1: 160}, 80)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("clamped query = %v", got)
+	}
+	got = collect(g, geom.Rect{X0: -50, Y0: -50, X1: -40, Y1: -40}, 10)
+	if len(got) != 0 {
+		t.Fatalf("far negative query = %v, want empty", got)
+	}
+}
+
+func TestGridDegenerateWorld(t *testing.T) {
+	// A world smaller than one cell must still work.
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}, 100, 1)
+	id := g.Insert(geom.Rect{X0: 0, Y0: 0, X1: 2, Y1: 2})
+	got := collect(g, geom.Rect{X0: 3, Y0: 0, X1: 4, Y1: 2}, 1)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("Near = %v", got)
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	world := geom.Rect{X0: 0, Y0: 0, X1: 2000, Y1: 2000}
+	g := NewGrid(world, 64, 256)
+	var rects []geom.Rect
+	for i := 0; i < 300; i++ {
+		x, y := rng.Intn(1900), rng.Intn(1900)
+		r := geom.Rect{X0: x, Y0: y, X1: x + 1 + rng.Intn(80), Y1: y + 1 + rng.Intn(80)}
+		rects = append(rects, r)
+		g.Insert(r)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x, y := rng.Intn(1900), rng.Intn(1900)
+		q := geom.Rect{X0: x, Y0: y, X1: x + 1 + rng.Intn(60), Y1: y + 1 + rng.Intn(60)}
+		radius := rng.Intn(150)
+		var want []int
+		rr := int64(radius) * int64(radius)
+		for id, r := range rects {
+			if geom.GapSq(q, r) <= rr {
+				want = append(want, id)
+			}
+		}
+		got := collect(g, q, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestGridStampWraparound(t *testing.T) {
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}, 10, 2)
+	g.Insert(geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5})
+	g.visit = -2 // force wrap within two queries
+	got := collect(g, geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}, 1)
+	if len(got) != 1 {
+		t.Fatalf("pre-wrap query = %v", got)
+	}
+	got = collect(g, geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}, 1)
+	if len(got) != 1 {
+		t.Fatalf("post-wrap query = %v", got)
+	}
+}

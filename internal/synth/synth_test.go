@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"testing"
+
+	"mpl/internal/core"
+	"mpl/internal/layout"
+)
+
+func TestTableCoverage(t *testing.T) {
+	if len(Table1) != 15 {
+		t.Fatalf("Table1 has %d circuits, want 15", len(Table1))
+	}
+	seen := map[string]bool{}
+	for _, s := range Table1 {
+		if seen[s.Name] {
+			t.Fatalf("duplicate circuit %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Gates <= 0 {
+			t.Fatalf("%s: gates = %d", s.Name, s.Gates)
+		}
+	}
+	for _, n := range Table2Names {
+		if !seen[n] {
+			t.Fatalf("Table 2 circuit %s missing from Table 1", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("C432")
+	if !ok || s.Name != "C432" {
+		t.Fatalf("ByName(C432) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("C9999"); ok {
+		t.Fatal("unknown circuit found")
+	}
+	if _, err := GenerateByName("C9999", 1); err == nil {
+		t.Fatal("GenerateByName accepted unknown circuit")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Table1[0], 0.5)
+	b := Generate(Table1[0], 0.5)
+	if len(a.Features) != len(b.Features) {
+		t.Fatalf("feature counts differ: %d vs %d", len(a.Features), len(b.Features))
+	}
+	for i := range a.Features {
+		if len(a.Features[i].Rects) != len(b.Features[i].Rects) ||
+			a.Features[i].Rects[0] != b.Features[i].Rects[0] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+}
+
+func TestGeneratedLayoutsValid(t *testing.T) {
+	for _, s := range Table1[:6] {
+		l := Generate(s, 0.2)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(l.Features) < 20 {
+			t.Fatalf("%s: only %d features", s.Name, len(l.Features))
+		}
+		if l.Process != layout.DefaultProcess() {
+			t.Fatalf("%s: process %+v", s.Name, l.Process)
+		}
+	}
+}
+
+func TestSizesScaleWithGates(t *testing.T) {
+	small := Generate(Table1[0], 1) // C432, 160 gates
+	large := Generate(Table1[7], 1) // C5315, 2307 gates
+	if len(large.Features) <= len(small.Features)*4 {
+		t.Fatalf("C5315 (%d feats) not much larger than C432 (%d feats)",
+			len(large.Features), len(small.Features))
+	}
+}
+
+func TestCrossesProduceNativeConflicts(t *testing.T) {
+	// C6288 is calibrated for 9 native conflicts at scale 1; the exact
+	// SDP+Backtrack engine should land close to that (crosses can
+	// occasionally interact with surrounding geometry).
+	l := Generate(Table1[8], 1) // C6288
+	res, err := core.Decompose(l, core.Options{K: 4, Algorithm: core.AlgSDPBacktrack, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts < 7 || res.Conflicts > 14 {
+		t.Fatalf("C6288 conflicts = %d, want ≈9", res.Conflicts)
+	}
+}
+
+func TestZeroCrossCircuitNearConflictFree(t *testing.T) {
+	l := Generate(Table1[3], 1) // C1355, 0 crosses
+	res, err := core.Decompose(l, core.Options{K: 4, Algorithm: core.AlgSDPBacktrack, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts > 2 {
+		t.Fatalf("C1355 conflicts = %d, want ≈0", res.Conflicts)
+	}
+}
+
+func TestScaleReducesSize(t *testing.T) {
+	full := Generate(Table1[11], 1) // S38417
+	tenth := Generate(Table1[11], 0.1)
+	if len(tenth.Features)*5 >= len(full.Features) {
+		t.Fatalf("scale 0.1: %d vs %d features", len(tenth.Features), len(full.Features))
+	}
+	neg := Generate(Table1[0], -1) // treated as 1
+	if len(neg.Features) == 0 {
+		t.Fatal("negative scale produced empty layout")
+	}
+}
+
+func TestStitchOpportunitiesExist(t *testing.T) {
+	l := Generate(Table1[0], 1)
+	dg, err := core.BuildGraph(l, core.BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.StitchEdges == 0 {
+		t.Fatal("no stitch candidates generated — wires too short or projection rule broken")
+	}
+	if dg.Stats.ConflictEdges == 0 {
+		t.Fatal("no conflict edges — layout too sparse")
+	}
+	if dg.Stats.FriendEdges == 0 {
+		t.Fatal("no color-friendly pairs detected")
+	}
+}

@@ -1,0 +1,149 @@
+// Package mpl is a layout decomposition library for quadruple patterning
+// lithography (QPL) and general K-patterning, reproducing Yu & Pan,
+// "Layout Decomposition for Quadruple Patterning Lithography and Beyond",
+// DAC 2014 (arXiv:1404.0321).
+//
+// Given a layout — polygonal features on one layer — the decomposer builds
+// the decomposition graph (conflict edges between features within the
+// minimum coloring distance, stitch edges at projection-derived stitch
+// candidates, color-friendly hints), divides it (independent components,
+// low-degree peeling, biconnected blocks, Gomory–Hu-tree (K−1)-cut
+// removal), assigns each fragment one of K masks with a selectable engine
+// (exact ILP, SDP+Backtrack, SDP+Greedy, or the linear-time heuristic), and
+// reports the conflict and stitch counts the paper's Tables 1–2 evaluate.
+//
+// Quick start:
+//
+//	l := mpl.NewLayout("demo")
+//	l.AddRect(mpl.Rect{X0: 0, Y0: 0, X1: 20, Y1: 20})
+//	l.AddRect(mpl.Rect{X0: 40, Y0: 0, X1: 60, Y1: 20})
+//	res, err := mpl.Decompose(l, mpl.Options{K: 4, Algorithm: mpl.SDPBacktrack})
+//	if err != nil { ... }
+//	fmt.Println(res.Conflicts, res.Stitches)
+//	masks := res.Masks() // one shape list per mask
+//
+// The zero Options value selects quadruple patterning (K = 4) with the
+// paper's parameters: α = 0.1, t_th = 0.9, and every graph-division
+// technique enabled.
+package mpl
+
+import (
+	"mpl/internal/core"
+	"mpl/internal/geom"
+	"mpl/internal/layout"
+	"mpl/internal/synth"
+)
+
+// Re-exported geometry and layout types: the public surface for building
+// inputs programmatically.
+type (
+	// Point is a layout-grid location in database units (nm).
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (half-open, integer coordinates).
+	Rect = geom.Rect
+	// Polygon is a rectilinear shape stored as a union of rectangles.
+	Polygon = geom.Polygon
+	// Layout is a named set of polygonal features on one layer.
+	Layout = layout.Layout
+	// Process carries technology parameters (wm, sm, half pitch).
+	Process = layout.Process
+)
+
+// Decomposition types.
+type (
+	// Options configures a decomposition; see core.Options for all knobs.
+	Options = core.Options
+	// BuildOptions configures decomposition-graph construction.
+	BuildOptions = core.BuildOptions
+	// Result is a completed decomposition with per-fragment mask colors.
+	Result = core.Result
+	// Algorithm selects the color-assignment engine.
+	Algorithm = core.Algorithm
+	// Fragment is one decomposition-graph vertex: a piece of a feature.
+	Fragment = core.Fragment
+	// DecompGraph couples the decomposition graph with fragment geometry.
+	DecompGraph = core.Graph
+)
+
+// The four color-assignment engines of the paper (Tables 1 and 2).
+const (
+	// ILP is the exact integer-linear-programming baseline.
+	ILP = core.AlgILP
+	// SDPBacktrack is semidefinite relaxation + merged-graph backtracking
+	// (Algorithm 1): near-optimal, the paper's quality reference.
+	SDPBacktrack = core.AlgSDPBacktrack
+	// SDPGreedy is semidefinite relaxation + greedy mapping: ≈2× faster
+	// than SDPBacktrack, noticeably worse conflict counts.
+	SDPGreedy = core.AlgSDPGreedy
+	// Linear is the O(n) three-stage heuristic (Algorithm 2): ≈200× faster
+	// with ≈15% more conflicts in the paper's Table 1.
+	Linear = core.AlgLinear
+)
+
+// NewLayout returns an empty layout using the paper's 20 nm half-pitch
+// process (wm = sm = hp = 20 nm).
+func NewLayout(name string) *Layout { return layout.New(name) }
+
+// NewPolygon builds a rectilinear polygon from rectangles.
+func NewPolygon(rects ...Rect) Polygon { return geom.NewPolygon(rects...) }
+
+// Decompose runs the full flow of the paper's Fig. 2 on a layout: graph
+// construction, division, color assignment, reassembly.
+func Decompose(l *Layout, opts Options) (*Result, error) {
+	return core.Decompose(l, opts)
+}
+
+// BuildGraph constructs only the decomposition graph, for callers that want
+// to inspect it or run several engines over the same graph.
+func BuildGraph(l *Layout, opts BuildOptions) (*DecompGraph, error) {
+	return core.BuildGraph(l, opts)
+}
+
+// DecomposeGraph colors an already-built decomposition graph.
+func DecomposeGraph(g *DecompGraph, opts Options) (*Result, error) {
+	return core.DecomposeGraph(g, opts)
+}
+
+// ParseAlgorithm maps "ilp", "sdp-backtrack", "sdp-greedy" or "linear" to
+// an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Verify independently recounts conflicts and stitches from fragment
+// geometry (a cross-check of graph construction and coloring).
+func Verify(r *Result) (conflicts, stitches int, err error) {
+	return core.VerifySolution(r)
+}
+
+// ReadLayout parses a layout file in either the text (.lay) or binary
+// (.layb) format, sniffing the header.
+func ReadLayout(path string) (*Layout, error) { return layout.ReadAny(path) }
+
+// Benchmark generation: deterministic synthetic stand-ins for the paper's
+// scaled ISCAS benchmark suite (see DESIGN.md §2 for the substitution).
+
+// BenchmarkCircuit describes one synthetic benchmark circuit.
+type BenchmarkCircuit = synth.Spec
+
+// BenchmarkSuite lists the fifteen Table 1 circuits in paper order.
+func BenchmarkSuite() []BenchmarkCircuit {
+	return append([]BenchmarkCircuit(nil), synth.Table1...)
+}
+
+// PentupleSuite lists the six densest circuits evaluated in Table 2.
+func PentupleSuite() []string {
+	return append([]string(nil), synth.Table2Names...)
+}
+
+// GenerateBenchmark builds the named synthetic circuit at the given scale
+// (1.0 = nominal size; generation is deterministic).
+func GenerateBenchmark(name string, scale float64) (*Layout, error) {
+	return synth.GenerateByName(name, scale)
+}
+
+// BalanceMasks rotates whole components' colors to even out per-mask
+// pattern density without changing conflicts or stitches (the
+// balanced-density extension). It mutates res.Colors and returns the
+// density spread before and after.
+func BalanceMasks(res *Result) (before, after float64) {
+	return core.BalanceMasks(res)
+}

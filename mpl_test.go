@@ -1,0 +1,96 @@
+package mpl_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpl"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	l := mpl.NewLayout("demo")
+	// Fig. 1's four-contact cluster.
+	for _, p := range []mpl.Point{{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 0, Y: 40}, {X: 40, Y: 40}} {
+		l.AddRect(mpl.Rect{X0: p.X, Y0: p.Y, X1: p.X + 20, Y1: p.Y + 20})
+	}
+	res, err := mpl.Decompose(l, mpl.Options{K: 4, Algorithm: mpl.SDPBacktrack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts != 0 {
+		t.Fatalf("conflicts = %d, want 0 under QPL", res.Conflicts)
+	}
+	masks := res.Masks()
+	if len(masks) != 4 {
+		t.Fatalf("masks = %d", len(masks))
+	}
+	conf, stit, err := mpl.Verify(res)
+	if err != nil || conf != res.Conflicts || stit != res.Stitches {
+		t.Fatalf("verify = %d/%d err=%v", conf, stit, err)
+	}
+}
+
+func TestAllAlgorithmsOnBenchmark(t *testing.T) {
+	l, err := mpl.GenerateBenchmark("C432", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []mpl.Algorithm{mpl.ILP, mpl.SDPBacktrack, mpl.SDPGreedy, mpl.Linear} {
+		res, err := mpl.DecomposeGraph(g, mpl.Options{K: 4, Algorithm: alg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Colors) != len(g.Fragments) {
+			t.Fatalf("%v: %d colors for %d fragments", alg, len(res.Colors), len(g.Fragments))
+		}
+	}
+}
+
+func TestBenchmarkSuiteAccessors(t *testing.T) {
+	suite := mpl.BenchmarkSuite()
+	if len(suite) != 15 {
+		t.Fatalf("suite = %d circuits", len(suite))
+	}
+	if len(mpl.PentupleSuite()) != 6 {
+		t.Fatalf("pentuple suite = %d", len(mpl.PentupleSuite()))
+	}
+	// Mutating the returned slices must not affect the library.
+	suite[0].Name = "mutated"
+	if mpl.BenchmarkSuite()[0].Name == "mutated" {
+		t.Fatal("BenchmarkSuite exposes internal storage")
+	}
+	if _, err := mpl.GenerateBenchmark("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	a, err := mpl.ParseAlgorithm("linear")
+	if err != nil || a != mpl.Linear {
+		t.Fatalf("ParseAlgorithm = %v, %v", a, err)
+	}
+}
+
+func TestReadLayoutSniffsBothFormats(t *testing.T) {
+	l := mpl.NewLayout("sniff")
+	l.AddRect(mpl.Rect{X0: 0, Y0: 0, X1: 20, Y1: 20})
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "a.lay")
+	bp := filepath.Join(dir, "a.layb")
+	if err := l.WriteFile(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBinaryFile(bp); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tp, bp} {
+		got, err := mpl.ReadLayout(p)
+		if err != nil || len(got.Features) != 1 {
+			t.Fatalf("%s: %v (%d features)", p, err, len(got.Features))
+		}
+	}
+}
