@@ -5,8 +5,10 @@
 // Usage:
 //
 //	qpld [-k 4] [-alg sdp-backtrack] [-alpha 0.1] [-verify] [-masks out.lay] input.lay
+//	qpld serve [-addr :8470] [-cache 256] [-workers N] [-timeout 30s]
 //
-// Algorithms: ilp, sdp-backtrack, sdp-greedy, linear.
+// Algorithms: ilp, sdp-backtrack, sdp-greedy, linear. The serve subcommand
+// runs the HTTP JSON decomposition service (see serve.go).
 package main
 
 import (
@@ -24,6 +26,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qpld: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	k := flag.Int("k", 4, "number of masks (K-patterning)")
 	algName := flag.String("alg", "sdp-backtrack", "color assignment algorithm: ilp, sdp-backtrack, sdp-greedy, linear")
 	alpha := flag.Float64("alpha", 0.1, "stitch weight α")

@@ -1,0 +1,323 @@
+// The serve subcommand exposes layout decomposition as an HTTP JSON API
+// backed by internal/service: a layout-hash keyed LRU result cache,
+// single-flight deduplication, and bounded solver concurrency. Every
+// request runs under a deadline (client-supplied timeout_ms capped by the
+// server's -timeout), and a request that overruns it still answers with a
+// valid linear-fallback coloring marked "degraded".
+//
+// Endpoints:
+//
+//	POST /v1/decompose        decompose one layout
+//	POST /v1/decompose/batch  decompose many layouts concurrently
+//	GET  /v1/stats            cache and concurrency statistics
+//	GET  /healthz             liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mpl"
+	"mpl/internal/core"
+	"mpl/internal/division"
+	"mpl/internal/geom"
+	"mpl/internal/layout"
+	"mpl/internal/service"
+)
+
+// rectJSON is [x0, y0, x1, y1] in database units (nm).
+type rectJSON [4]int
+
+// layoutJSON is the wire form of a layout: one rectangle list per feature.
+type layoutJSON struct {
+	Process  *processJSON `json:"process,omitempty"`
+	Features [][]rectJSON `json:"features"`
+}
+
+type processJSON struct {
+	MinWidth  int `json:"min_width"`
+	MinSpace  int `json:"min_space"`
+	HalfPitch int `json:"half_pitch"`
+}
+
+// decomposeRequest is the body of POST /v1/decompose (and one element of a
+// batch request).
+type decomposeRequest struct {
+	Name         string     `json:"name,omitempty"`
+	K            int        `json:"k,omitempty"`         // default 4
+	Algorithm    string     `json:"algorithm,omitempty"` // ilp, sdp-backtrack, sdp-greedy, linear
+	Alpha        float64    `json:"alpha,omitempty"`
+	Seed         int64      `json:"seed,omitempty"`
+	Workers      int        `json:"workers,omitempty"`    // per-request component workers
+	TimeoutMs    int64      `json:"timeout_ms,omitempty"` // capped by the server's -timeout
+	IncludeMasks bool       `json:"include_masks,omitempty"`
+	Layout       layoutJSON `json:"layout"`
+}
+
+type decomposeResponse struct {
+	Name      string       `json:"name,omitempty"`
+	K         int          `json:"k"`
+	Algorithm string       `json:"algorithm"`
+	Fragments int          `json:"fragments"`
+	Conflicts int          `json:"conflicts"`
+	Stitches  int          `json:"stitches"`
+	Proven    bool         `json:"proven"`
+	Degraded  int          `json:"degraded"`
+	Cached    bool         `json:"cached"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Masks     [][]rectJSON `json:"masks,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+type batchRequest struct {
+	Requests []decomposeRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Responses []decomposeResponse `json:"responses"`
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("qpld serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8470", "listen address")
+	cacheSize := fs.Int("cache", 256, "LRU result-cache entries (negative disables caching)")
+	workers := fs.Int("workers", 0, "max concurrent decompositions (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline cap")
+	maxBody := fs.Int64("max-body", 64<<20, "maximum request body bytes")
+	fs.Parse(args)
+
+	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	srv := &server{svc: svc, maxTimeout: *timeout, maxBody: *maxBody}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("serving on %s (cache %d, workers %d, timeout cap %s)", *addr, *cacheSize, w, *timeout)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type server struct {
+	svc        *service.Service
+	maxTimeout time.Duration
+	maxBody    int64
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/decompose", s.handleDecompose)
+	m.HandleFunc("POST /v1/decompose/batch", s.handleBatch)
+	m.HandleFunc("GET /v1/stats", s.handleStats)
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return m
+}
+
+func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req decomposeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, err := s.decomposeOne(r.Context(), &req)
+	if err != nil {
+		// Deadline/cancellation is load shedding, not a malformed request.
+		code := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Each element carries its own options and deadline; the service's
+	// worker pool bounds how many solve at once. Per-item failures are
+	// reported inline so one bad layout cannot sink the batch.
+	out := batchResponse{Responses: make([]decomposeResponse, len(req.Requests))}
+	type slot struct {
+		i    int
+		resp decomposeResponse
+	}
+	results := make(chan slot, len(req.Requests))
+	for i := range req.Requests {
+		go func(i int) {
+			resp, err := s.decomposeOne(r.Context(), &req.Requests[i])
+			if err != nil {
+				resp = decomposeResponse{Name: req.Requests[i].Name, Error: err.Error()}
+			}
+			results <- slot{i: i, resp: resp}
+		}(i)
+	}
+	for range req.Requests {
+		sl := <-results
+		out.Responses[sl.i] = sl.resp
+	}
+	writeJSON(w, out)
+}
+
+// maxK bounds client-requested mask counts: the paper evaluates K = 4 and
+// 5, and beyond ~8 the per-component ILP/SDP models explode; an absurd K
+// must be a 400, not an allocation storm.
+const maxK = 16
+
+// decomposeOne converts one wire request into a service call.
+func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decomposeResponse, error) {
+	if req.K < 0 || req.K > maxK {
+		return decomposeResponse{}, fmt.Errorf("k must be in [2, %d] (or 0 for the default 4), got %d", maxK, req.K)
+	}
+	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	// Workers is a performance knob, not a semantic one (results are
+	// identical at any value); clamp rather than reject so one request
+	// cannot demand an arbitrary goroutine count.
+	if limit := runtime.GOMAXPROCS(0); workers > limit {
+		workers = limit
+	}
+	l, err := layoutFromJSON(req.Layout)
+	if err != nil {
+		return decomposeResponse{}, err
+	}
+	algName := req.Algorithm
+	if algName == "" {
+		algName = "sdp-backtrack"
+	}
+	alg, err := mpl.ParseAlgorithm(algName)
+	if err != nil {
+		return decomposeResponse{}, err
+	}
+	opts := core.Options{
+		K:         req.K,
+		Algorithm: alg,
+		Alpha:     req.Alpha,
+		Seed:      req.Seed,
+		Division:  division.Options{Workers: workers},
+	}
+
+	timeout := s.maxTimeout
+	if req.TimeoutMs > 0 {
+		// Honor the client's deadline even when the server cap is disabled
+		// (-timeout 0); the cap only ever shortens it.
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	t0 := time.Now()
+	res, cached, err := s.svc.Decompose(ctx, l, opts)
+	if err != nil {
+		return decomposeResponse{}, err
+	}
+	resp := decomposeResponse{
+		Name:      req.Name,
+		K:         res.K,
+		Algorithm: alg.String(),
+		Fragments: len(res.Graph.Fragments),
+		Conflicts: res.Conflicts,
+		Stitches:  res.Stitches,
+		Proven:    res.Proven,
+		Degraded:  res.Degraded,
+		Cached:    cached,
+		ElapsedMs: float64(time.Since(t0).Microseconds()) / 1000,
+	}
+	if req.IncludeMasks {
+		resp.Masks = masksToJSON(res)
+	}
+	return resp, nil
+}
+
+func layoutFromJSON(lj layoutJSON) (*layout.Layout, error) {
+	if len(lj.Features) == 0 {
+		return nil, fmt.Errorf("layout has no features")
+	}
+	l := layout.New("request")
+	if p := lj.Process; p != nil {
+		l.Process = layout.Process{MinWidth: p.MinWidth, MinSpace: p.MinSpace, HalfPitch: p.HalfPitch}
+	}
+	for fi, rects := range lj.Features {
+		if len(rects) == 0 {
+			return nil, fmt.Errorf("feature %d has no rectangles", fi)
+		}
+		var pg geom.Polygon
+		for _, r := range rects {
+			rc := geom.Rect{X0: r[0], Y0: r[1], X1: r[2], Y1: r[3]}
+			if !rc.Valid() {
+				return nil, fmt.Errorf("feature %d: invalid rect %v", fi, rc)
+			}
+			pg.Rects = append(pg.Rects, rc)
+		}
+		l.Add(pg)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func masksToJSON(res *core.Result) [][]rectJSON {
+	masks := make([][]rectJSON, res.K)
+	for c := range masks {
+		masks[c] = []rectJSON{} // empty mask serializes as [], not null
+	}
+	for c, shapes := range res.Masks() {
+		for _, pg := range shapes {
+			for _, r := range pg.Rects {
+				masks[c] = append(masks[c], rectJSON{r.X0, r.Y0, r.X1, r.Y1})
+			}
+		}
+	}
+	return masks
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.StatsSnapshot()
+	writeJSON(w, map[string]any{
+		"cache_hits":      st.Hits,
+		"cache_misses":    st.Misses,
+		"cache_evictions": st.Evictions,
+		"cache_size":      st.Size,
+		"graph_hits":      st.GraphHits,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

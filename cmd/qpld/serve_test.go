@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpl/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := &server{
+		svc:        service.New(service.Config{CacheSize: 32}),
+		maxTimeout: 10 * time.Second,
+		maxBody:    1 << 20,
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// rowRequest is a dense row of rects (30 nm gaps < the 80 nm QP coloring
+// distance), so the decomposition has real conflict edges.
+func rowRequest(name string, n int) decomposeRequest {
+	features := make([][]rectJSON, n)
+	for i := 0; i < n; i++ {
+		x := i * 50
+		features[i] = []rectJSON{{x, 0, x + 20, 200}}
+	}
+	return decomposeRequest{
+		Name:      name,
+		K:         4,
+		Algorithm: "sdp-backtrack",
+		Layout:    layoutJSON{Features: features},
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestServeDecompose(t *testing.T) {
+	ts := testServer(t)
+	req := rowRequest("row", 6)
+	req.IncludeMasks = true
+
+	var out decomposeResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.K != 4 || out.Fragments == 0 {
+		t.Fatalf("bad response: %+v", out)
+	}
+	if out.Cached {
+		t.Fatal("first request must not be cached")
+	}
+	if len(out.Masks) != 4 {
+		t.Fatalf("want 4 masks, got %d", len(out.Masks))
+	}
+	total := 0
+	for _, m := range out.Masks {
+		total += len(m)
+	}
+	if total < 6 {
+		t.Fatalf("masks cover %d rects, want >= 6", total)
+	}
+
+	// Identical geometry again: served from cache.
+	var out2 decomposeResponse
+	postJSON(t, ts.URL+"/v1/decompose", req, &out2)
+	if !out2.Cached {
+		t.Fatal("second identical request must be cached")
+	}
+	if out2.Conflicts != out.Conflicts || out2.Stitches != out.Stitches {
+		t.Fatalf("cached response differs: %+v vs %+v", out2, out)
+	}
+}
+
+func TestServeBatch(t *testing.T) {
+	ts := testServer(t)
+	batch := batchRequest{Requests: []decomposeRequest{
+		rowRequest("a", 4),
+		rowRequest("b", 6),
+		rowRequest("a-again", 4),            // same geometry as "a": cache or single-flight
+		{Name: "bad", Layout: layoutJSON{}}, // no features: inline error
+	}}
+	var out batchResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose/batch", batch, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Responses) != 4 {
+		t.Fatalf("want 4 responses, got %d", len(out.Responses))
+	}
+	for i, name := range []string{"a", "b", "a-again", "bad"} {
+		if out.Responses[i].Name != name {
+			t.Fatalf("response %d: name %q, want %q (order must match request order)", i, out.Responses[i].Name, name)
+		}
+	}
+	if out.Responses[0].Error != "" || out.Responses[1].Error != "" || out.Responses[2].Error != "" {
+		t.Fatalf("unexpected errors: %+v", out.Responses)
+	}
+	if out.Responses[0].Conflicts != out.Responses[2].Conflicts {
+		t.Fatal("identical geometry must give identical results")
+	}
+	if out.Responses[3].Error == "" {
+		t.Fatal("featureless layout must report an inline error")
+	}
+
+	// The duplicate pair solved once (single-flight or cache).
+	var stats map[string]any
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if misses := stats["cache_misses"].(float64); misses != 2 {
+		t.Fatalf("cache_misses = %v, want 2 (a/b solved once each)", misses)
+	}
+}
+
+func TestServeDeadlineStillAnswers(t *testing.T) {
+	ts := testServer(t)
+	req := rowRequest("row", 40)
+	req.TimeoutMs = 1 // expires essentially immediately
+	var out decomposeResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose", req, &out)
+	// Either a valid (possibly degraded) coloring or a context error is
+	// acceptable; a hang is not. A 200 must carry a complete response.
+	if resp.StatusCode == http.StatusOK && out.Error == "" && out.Fragments == 0 {
+		t.Fatalf("deadline response incomplete: %+v", out)
+	}
+}
+
+func TestServeRejectsBadInput(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]any{
+		"no features": decomposeRequest{Layout: layoutJSON{}},
+		"bad alg":     decomposeRequest{Algorithm: "magic", Layout: layoutJSON{Features: [][]rectJSON{{{0, 0, 10, 10}}}}},
+		"bad rect":    decomposeRequest{Layout: layoutJSON{Features: [][]rectJSON{{{10, 10, 0, 0}}}}},
+		"bad k":       decomposeRequest{K: 1, Layout: layoutJSON{Features: [][]rectJSON{{{0, 0, 10, 10}}}}},
+		"huge k":      decomposeRequest{K: 1 << 30, Layout: layoutJSON{Features: [][]rectJSON{{{0, 0, 10, 10}}}}},
+		"negative k":  decomposeRequest{K: -4, Layout: layoutJSON{Features: [][]rectJSON{{{0, 0, 10, 10}}}}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/decompose", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeClampsWorkers(t *testing.T) {
+	// An absurd workers value is a performance knob abuse, not an error:
+	// it must be clamped (identical results), never allocated verbatim.
+	ts := testServer(t)
+	req := rowRequest("row", 6)
+	req.Workers = 1 << 30
+	var out decomposeResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose", req, &out)
+	if resp.StatusCode != http.StatusOK || out.Error != "" || out.Fragments == 0 {
+		t.Fatalf("status %d, response %+v", resp.StatusCode, out)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestServeClientTimeoutHonoredWithoutServerCap(t *testing.T) {
+	// -timeout 0 disables the server cap; the client's timeout_ms must
+	// still bound the solve rather than being silently dropped.
+	srv := &server{
+		svc:     service.New(service.Config{CacheSize: 32}),
+		maxBody: 8 << 20, // maxTimeout deliberately zero
+	}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	features := make([][]rectJSON, 0, 900)
+	for r := 0; r < 30; r++ {
+		for c := 0; c < 30; c++ {
+			features = append(features, []rectJSON{{c * 50, r * 50, c*50 + 20, r*50 + 20}})
+		}
+	}
+	req := decomposeRequest{
+		K: 4, Algorithm: "sdp-backtrack", TimeoutMs: 1,
+		Layout: layoutJSON{Features: features},
+	}
+	start := time.Now()
+	var out decomposeResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose", req, &out)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Degraded == 0 {
+		t.Fatalf("1 ms deadline on a 900-feature grid must degrade, got %+v", out)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("took %v; client deadline was dropped", elapsed)
+	}
+}

@@ -1,0 +1,3 @@
+module mpl
+
+go 1.22

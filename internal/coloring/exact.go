@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"sort"
 
 	"mpl/internal/graph"
@@ -100,6 +101,14 @@ type BacktrackResult struct {
 // allowing each vertex one fresh color beyond those already used.
 // nodeLimit bounds the search; 0 means 2,000,000 nodes.
 func (w *Weighted) Backtrack(k int, alpha float64, nodeLimit int64) BacktrackResult {
+	return w.BacktrackContext(context.Background(), k, alpha, nodeLimit)
+}
+
+// BacktrackContext is Backtrack with cooperative cancellation: ctx is polled
+// every 1024 expanded nodes, and on cancellation the search stops and the
+// incumbent (at worst the greedy seed) is returned with Proven=false —
+// exactly the node-limit behavior, triggered by deadline instead of count.
+func (w *Weighted) BacktrackContext(ctx context.Context, k int, alpha float64, nodeLimit int64) BacktrackResult {
 	n := w.NumV
 	if nodeLimit <= 0 {
 		nodeLimit = 2_000_000
@@ -147,6 +156,8 @@ func (w *Weighted) Backtrack(k int, alpha float64, nodeLimit int64) BacktrackRes
 	}
 	var nodes int64
 	exhausted := true
+	stopped := false
+	done := ctx.Done()
 
 	// deltaCost returns the cost increase of giving v color c, considering
 	// only neighbors earlier in the order (already colored).
@@ -168,7 +179,14 @@ func (w *Weighted) Backtrack(k int, alpha float64, nodeLimit int64) BacktrackRes
 	var rec func(idx int, cost float64, used int)
 	rec = func(idx int, cost float64, used int) {
 		nodes++
-		if nodes > nodeLimit {
+		if nodes&1023 == 0 {
+			select {
+			case <-done:
+				stopped = true
+			default:
+			}
+		}
+		if stopped || nodes > nodeLimit {
 			exhausted = false
 			return
 		}
@@ -198,12 +216,17 @@ func (w *Weighted) Backtrack(k int, alpha float64, nodeLimit int64) BacktrackRes
 			}
 			rec(idx+1, cost+deltaCost(v, c), nu)
 			colors[v] = Uncolored
-			if nodes > nodeLimit {
+			if stopped || nodes > nodeLimit {
 				return
 			}
 		}
 	}
-	rec(0, 0, 0)
+	select {
+	case <-done:
+		exhausted = false // already cancelled: return the greedy incumbent
+	default:
+		rec(0, 0, 0)
+	}
 
 	return BacktrackResult{
 		Colors:    best,

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"time"
 
 	"mpl/internal/graph"
@@ -32,6 +33,13 @@ type ILPResult struct {
 // forces them onto {0,1} whenever the y's are integral. A zero timeLimit
 // means no limit.
 func ILPAssign(g *graph.Graph, k int, alpha float64, timeLimit time.Duration) ILPResult {
+	return ILPAssignContext(context.Background(), g, k, alpha, timeLimit)
+}
+
+// ILPAssignContext is ILPAssign with cooperative cancellation of the
+// branch-and-bound search; on cancellation the incumbent (or the greedy
+// fallback) is returned with Proven=false.
+func ILPAssignContext(ctx context.Context, g *graph.Graph, k int, alpha float64, timeLimit time.Duration) ILPResult {
 	n := g.N()
 	if n == 0 {
 		return ILPResult{Colors: []int{}, Proven: true, Status: ilp.Optimal}
@@ -93,7 +101,7 @@ func ILPAssign(g *graph.Graph, k int, alpha float64, timeLimit time.Duration) IL
 	// Symmetry breaking: pin the first vertex to color 0.
 	prob.LP.AddConstraint(lp.EQ, 1, lp.Term{Var: yVar(0, 0), Coef: 1})
 
-	res := ilp.Solve(prob, ilp.Options{TimeLimit: timeLimit})
+	res := ilp.Solve(prob, ilp.Options{TimeLimit: timeLimit, Ctx: ctx})
 	out := ILPResult{Status: res.Status, Proven: res.Status == ilp.Optimal}
 	if res.X != nil {
 		colors := make([]int, n)

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"sort"
 
 	"mpl/internal/graph"
@@ -107,6 +108,12 @@ func buildMerged(g *graph.Graph, groupOf []int, numGroups int) *Weighted {
 // (skipping merges that would trap a conflict edge inside a group), then run
 // exact branch-and-bound backtracking on the merged graph.
 func SDPBacktrack(g *graph.Graph, sol *sdp.Solution, k int, alpha, threshold float64, nodeLimit int64) ([]int, bool) {
+	return SDPBacktrackContext(context.Background(), g, sol, k, alpha, threshold, nodeLimit)
+}
+
+// SDPBacktrackContext is SDPBacktrack with cooperative cancellation of the
+// exact search phase (the merge phase is linear-time and runs to completion).
+func SDPBacktrackContext(ctx context.Context, g *graph.Graph, sol *sdp.Solution, k int, alpha, threshold float64, nodeLimit int64) ([]int, bool) {
 	n := g.N()
 	if n == 0 {
 		return []int{}, true
@@ -129,7 +136,7 @@ func SDPBacktrack(g *graph.Graph, sol *sdp.Solution, k int, alpha, threshold flo
 	}
 	groupOf, members := groupsOf(uf, n)
 	merged := buildMerged(g, groupOf, len(members))
-	res := merged.Backtrack(k, alpha, nodeLimit)
+	res := merged.BacktrackContext(ctx, k, alpha, nodeLimit)
 	colors := make([]int, n)
 	for v := 0; v < n; v++ {
 		colors[v] = res.Colors[groupOf[v]]

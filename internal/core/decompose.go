@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -89,6 +90,12 @@ type Options struct {
 	Linear coloring.LinearOptions
 }
 
+// Normalize returns o with every defaulted field resolved to the value
+// Decompose would actually use (K=4, α=0.1, t_th=0.9, ...), so that two
+// Options spellings of the same run compare — and hash — equal. It panics
+// for K == 1 or negative K, like Decompose.
+func (o Options) Normalize() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.K == 0 {
 		o.K = 4
@@ -110,6 +117,9 @@ func (o Options) withDefaults() Options {
 	o.Division.Alpha = o.Alpha
 	o.Linear.K = o.K
 	o.Linear.Alpha = o.Alpha
+	// The cancellation fallback must honor the same linear-engine tuning
+	// as a configured AlgLinear run.
+	o.Division.Linear = o.Linear
 	return o
 }
 
@@ -136,6 +146,12 @@ type Result struct {
 	SolverTime time.Duration
 	// DivisionStats reports what the Section 4 pipeline did.
 	DivisionStats division.Stats
+	// Degraded counts graph pieces colored by the linear-time fallback
+	// because the context was cancelled (or its deadline passed) before
+	// their engine solve started. Zero for an uncancelled run; when
+	// positive, the coloring is valid but Proven is false and quality is
+	// that of AlgLinear on the affected pieces.
+	Degraded int
 	// K and Alpha echo the options used.
 	K     int
 	Alpha float64
@@ -152,20 +168,37 @@ func (r *Result) Masks() [][]geom.Polygon {
 
 // Decompose runs the full flow of Fig. 2 on a layout.
 func Decompose(l *layout.Layout, opts Options) (*Result, error) {
+	return DecomposeContext(context.Background(), l, opts)
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: when ctx is
+// cancelled (or its deadline passes), in-flight engine solves stop at their
+// next cancellation checkpoint and return their incumbent, and pieces whose
+// solve has not started fall back to the linear-time heuristic. The call
+// therefore still returns a valid Result — with Degraded counting the
+// fallback pieces and Proven false — rather than an error, so a serving
+// layer can always answer with its best effort under a deadline.
+func DecomposeContext(ctx context.Context, l *layout.Layout, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	dg, err := BuildGraph(l, opts.Build)
 	if err != nil {
 		return nil, err
 	}
-	return DecomposeGraph(dg, opts)
+	return DecomposeGraphContext(ctx, dg, opts)
 }
 
 // DecomposeGraph colors an already-built decomposition graph; callers that
 // sweep algorithms over one layout (cmd/evaluate) build the graph once.
 func DecomposeGraph(dg *Graph, opts Options) (*Result, error) {
+	return DecomposeGraphContext(context.Background(), dg, opts)
+}
+
+// DecomposeGraphContext is DecomposeGraph with the cancellation semantics
+// of DecomposeContext.
+func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	var unproven atomic.Bool
-	inner := makeSolver(opts, &unproven)
+	inner := makeSolver(ctx, opts, &unproven)
 	var solverNanos atomic.Int64
 	solver := func(g *graph.Graph) []int {
 		t0 := time.Now()
@@ -175,7 +208,7 @@ func DecomposeGraph(dg *Graph, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	colors, stats := division.Decompose(dg.G, opts.Division, solver)
+	colors, stats := division.DecomposeContext(ctx, dg.G, opts.Division, solver)
 	elapsed := time.Since(start)
 
 	if err := coloring.Validate(dg.G, colors, opts.K); err != nil {
@@ -187,19 +220,21 @@ func DecomposeGraph(dg *Graph, opts Options) (*Result, error) {
 		Colors:        colors,
 		Conflicts:     conf,
 		Stitches:      stit,
-		Proven:        !unproven.Load(),
+		Proven:        !unproven.Load() && stats.Fallbacks == 0,
 		AssignTime:    elapsed,
 		SolverTime:    time.Duration(solverNanos.Load()),
 		DivisionStats: stats,
+		Degraded:      stats.Fallbacks,
 		K:             opts.K,
 		Alpha:         opts.Alpha,
 	}, nil
 }
 
 // makeSolver builds the per-component engine. The unproven flag is set
-// when any component's exact search is cut short. Engines are safe for
-// concurrent calls (division's Workers mode).
-func makeSolver(opts Options, unproven *atomic.Bool) division.Solver {
+// when any component's exact search is cut short (node limit, time budget,
+// or ctx cancellation mid-solve). Engines are safe for concurrent calls
+// (division's Workers mode).
+func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool) division.Solver {
 	switch opts.Algorithm {
 	case AlgLinear:
 		lin := opts.Linear
@@ -208,13 +243,13 @@ func makeSolver(opts Options, unproven *atomic.Bool) division.Solver {
 		}
 	case AlgSDPGreedy:
 		return func(g *graph.Graph) []int {
-			sol := solveSDP(g, opts)
+			sol := solveSDP(ctx, g, opts)
 			return coloring.SDPGreedy(g, sol, opts.K, opts.Alpha)
 		}
 	case AlgSDPBacktrack:
 		return func(g *graph.Graph) []int {
-			sol := solveSDP(g, opts)
-			colors, ok := coloring.SDPBacktrack(g, sol, opts.K, opts.Alpha, opts.Threshold, opts.BacktrackNodeLimit)
+			sol := solveSDP(ctx, g, opts)
+			colors, ok := coloring.SDPBacktrackContext(ctx, g, sol, opts.K, opts.Alpha, opts.Threshold, opts.BacktrackNodeLimit)
 			if !ok {
 				unproven.Store(true)
 			}
@@ -230,7 +265,7 @@ func makeSolver(opts Options, unproven *atomic.Bool) division.Solver {
 				// the harness can still report a (non-optimal) solution.
 				return coloring.Linear(g, opts.Linear)
 			}
-			res := coloring.ILPAssign(g, opts.K, opts.Alpha, remaining)
+			res := coloring.ILPAssignContext(ctx, g, opts.K, opts.Alpha, remaining)
 			if !res.Proven {
 				unproven.Store(true)
 			}
@@ -241,8 +276,8 @@ func makeSolver(opts Options, unproven *atomic.Bool) division.Solver {
 	}
 }
 
-func solveSDP(g *graph.Graph, opts Options) *sdp.Solution {
-	return sdp.Solve(g, sdp.Options{
+func solveSDP(ctx context.Context, g *graph.Graph, opts Options) *sdp.Solution {
+	return sdp.SolveContext(ctx, g, sdp.Options{
 		K:        opts.K,
 		Alpha:    opts.Alpha,
 		Restarts: opts.SDPRestarts,

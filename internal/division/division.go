@@ -21,6 +21,7 @@
 package division
 
 import (
+	"context"
 	"sync"
 
 	"mpl/internal/coloring"
@@ -57,6 +58,11 @@ type Options struct {
 	// disjoint and each is solved from the same inputs — but the solver
 	// must be safe for concurrent calls.
 	Workers int
+	// Linear tunes the linear-time engine used as the cancellation
+	// fallback, so degraded pieces honor the same heuristic settings as a
+	// configured AlgLinear run. A zero value means K/Alpha with the
+	// paper's defaults.
+	Linear coloring.LinearOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +75,10 @@ func (o Options) withDefaults() Options {
 	if o.MaxStitchDegree == 0 {
 		o.MaxStitchDegree = 2
 	}
+	o.Linear.K = o.K
+	if o.Linear.Alpha == 0 {
+		o.Linear.Alpha = o.Alpha
+	}
 	return o
 }
 
@@ -79,11 +89,37 @@ type Stats struct {
 	Blocks       int // biconnected blocks solved
 	GHComponents int // pieces created by (K−1)-cut removal
 	SolverCalls  int // invocations of the underlying solver
+	Fallbacks    int // pieces colored by the linear fallback after cancellation
+}
+
+// addWorker accumulates one worker's per-component counters into s.
+// Components is global (the component count, known before any worker runs)
+// and is deliberately excluded. Every other field MUST be summed here —
+// TestStatsMergeCoversAllFields enforces this by reflection, so a field
+// added to Stats without a matching line below fails the suite instead of
+// silently under-reporting in parallel runs.
+func (s *Stats) addWorker(o Stats) {
+	s.Peeled += o.Peeled
+	s.Blocks += o.Blocks
+	s.GHComponents += o.GHComponents
+	s.SolverCalls += o.SolverCalls
+	s.Fallbacks += o.Fallbacks
 }
 
 // Decompose divides the graph, colors every piece with solve, and
 // reassembles a full coloring.
 func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
+	return DecomposeContext(context.Background(), g, opts, solve)
+}
+
+// DecomposeContext is Decompose with cooperative cancellation. Every vertex
+// still receives a valid color: pieces whose solve has not started when ctx
+// is cancelled are colored by the linear-time heuristic (Algorithm 2)
+// instead of the configured engine, and Stats.Fallbacks counts them. In
+// parallel mode the worker pool drains its queued components the same way,
+// so a cancelled call returns as soon as in-flight solver calls notice the
+// cancellation rather than after the full queue is solved at full quality.
+func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
 	opts = opts.withDefaults()
 	n := g.N()
 	colors := make([]int, n)
@@ -96,7 +132,7 @@ func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
 	if opts.Workers <= 1 {
 		for _, comp := range comps {
 			sub, orig := g.Subgraph(comp)
-			subColors := decomposeComponent(sub, opts, solve, &st)
+			subColors := decomposeComponent(ctx, sub, opts, solve, &st)
 			for i, v := range orig {
 				colors[v] = subColors[i]
 			}
@@ -116,7 +152,7 @@ func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
 			defer wg.Done()
 			for j := range jobs {
 				sub, orig := g.Subgraph(j.comp)
-				subColors := decomposeComponent(sub, opts, solve, ws)
+				subColors := decomposeComponent(ctx, sub, opts, solve, ws)
 				for i, v := range orig {
 					colors[v] = subColors[i]
 				}
@@ -129,17 +165,28 @@ func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
 	close(jobs)
 	wg.Wait()
 	for _, ws := range workerStats {
-		st.Peeled += ws.Peeled
-		st.Blocks += ws.Blocks
-		st.GHComponents += ws.GHComponents
-		st.SolverCalls += ws.SolverCalls
+		st.addWorker(ws)
 	}
 	return colors, st
 }
 
+// callSolver invokes the engine for one piece unless ctx is already
+// cancelled, in which case the linear-time heuristic colors it instead
+// (the piece is connected, so quality degrades but validity never does).
+func callSolver(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+	select {
+	case <-ctx.Done():
+		st.Fallbacks++
+		return coloring.Linear(g, opts.Linear)
+	default:
+		st.SolverCalls++
+		return solve(g)
+	}
+}
+
 // decomposeComponent handles one connected component: peel, solve the core
 // (via biconnected + GH division), then pop the peel stack.
-func decomposeComponent(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func decomposeComponent(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 	n := g.N()
 	colors := make([]int, n)
 	for i := range colors {
@@ -162,7 +209,7 @@ func decomposeComponent(g *graph.Graph, opts Options, solve Solver, st *Stats) [
 		// Peeling can disconnect the core; re-split into components.
 		for _, cc := range coreSub.Components() {
 			ccSub, ccOrig := coreSub.Subgraph(cc)
-			ccColors := solveCore(ccSub, opts, solve, st)
+			ccColors := solveCore(ctx, ccSub, opts, solve, st)
 			for i, v := range ccOrig {
 				colors[coreOrig[v]] = ccColors[i]
 			}
@@ -179,15 +226,15 @@ func decomposeComponent(g *graph.Graph, opts Options, solve Solver, st *Stats) [
 }
 
 // solveCore applies the biconnected split to one connected core component.
-func solveCore(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 	if opts.DisableBiconnected {
 		st.Blocks++
-		return solveBlock(g, opts, solve, st)
+		return solveBlock(ctx, g, opts, solve, st)
 	}
 	blocks, _ := g.BiconnectedComponents()
 	if len(blocks) == 1 {
 		st.Blocks++
-		return solveBlock(g, opts, solve, st)
+		return solveBlock(ctx, g, opts, solve, st)
 	}
 
 	n := g.N()
@@ -214,7 +261,7 @@ func solveCore(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 		st.Blocks++
 		block := blocks[bi]
 		bsub, borig := g.Subgraph(block)
-		bcolors := solveBlock(bsub, opts, solve, st)
+		bcolors := solveBlock(ctx, bsub, opts, solve, st)
 
 		// Find the anchor: a vertex already colored by an earlier block.
 		rot := 0
@@ -243,17 +290,20 @@ func solveCore(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 
 // solveBlock applies GH-tree (K−1)-cut division to one biconnected block
 // (Algorithm 3) and reassembles with color rotations.
-func solveBlock(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func solveBlock(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 	n := g.N()
 	if opts.DisableGHTree || n > opts.GHTreeMaxN || n < 2 {
-		st.SolverCalls++
-		return solve(g)
+		return callSolver(ctx, g, opts, solve, st)
 	}
-	tr := ghtree.BuildFromConflictGraph(g)
+	tr := ghtree.BuildFromConflictGraphContext(ctx, g)
+	if tr == nil {
+		// Cancelled during (or before) the n−1 max-flows: skip GH division
+		// and let callSolver route the whole block to the linear fallback.
+		return callSolver(ctx, g, opts, solve, st)
+	}
 	comps := tr.ComponentsBelowWeight(int64(opts.K))
 	if len(comps) == 1 {
-		st.SolverCalls++
-		return solve(g)
+		return callSolver(ctx, g, opts, solve, st)
 	}
 	st.GHComponents += len(comps)
 
@@ -268,8 +318,7 @@ func solveBlock(g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
 		// rotation is later fixed edge by edge).
 		for _, cc := range csub.Components() {
 			ccSub, ccOrig := csub.Subgraph(cc)
-			st.SolverCalls++
-			ccColors := solve(ccSub)
+			ccColors := callSolver(ctx, ccSub, opts, solve, st)
 			for i, v := range ccOrig {
 				colors[corig[v]] = ccColors[i]
 			}

@@ -1,8 +1,11 @@
 package division
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"mpl/internal/coloring"
@@ -295,5 +298,100 @@ func TestParallelRace(t *testing.T) {
 	}
 	if st.Components != 100 {
 		t.Fatalf("components = %d", st.Components)
+	}
+}
+
+// TestStatsMergeCoversAllFields guards the parallel stats merge against
+// silent under-reporting: every numeric field of Stats except Components
+// (which is global, not per-worker) must be summed by addWorker. A field
+// added to Stats without a matching line in addWorker fails here.
+func TestStatsMergeCoversAllFields(t *testing.T) {
+	var src Stats
+	rv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).Kind() == reflect.Int {
+			rv.Field(i).SetInt(1)
+		}
+	}
+	var dst Stats
+	dst.addWorker(src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < dv.NumField(); i++ {
+		f := dv.Type().Field(i)
+		if f.Name == "Components" {
+			if dv.Field(i).Int() != 0 {
+				t.Errorf("addWorker must not merge Components (global count)")
+			}
+			continue
+		}
+		if dv.Field(i).Kind() == reflect.Int && dv.Field(i).Int() != 1 {
+			t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
+		}
+	}
+}
+
+// TestCancelledContextFallsBackToLinear checks that a cancelled context
+// makes every piece take the linear fallback, never the engine, while the
+// coloring stays valid — for both serial and parallel pools, which must
+// also agree exactly (determinism is preserved under cancellation).
+func TestCancelledContextFallsBackToLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomGraph(rng, 80, 80, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	engine := func(sub *graph.Graph) []int {
+		t.Error("engine must not run once the context is cancelled")
+		return make([]int, sub.N())
+	}
+	// Peeling is disabled so every component reaches the solver stage.
+	serial, sst := DecomposeContext(ctx, g, Options{K: 4, Alpha: 0.1, DisablePeeling: true}, engine)
+	if err := coloring.Validate(g, serial, 4); err != nil {
+		t.Fatal(err)
+	}
+	if sst.Fallbacks == 0 || sst.SolverCalls != 0 {
+		t.Fatalf("expected all-fallback stats, got %+v", sst)
+	}
+	par, pst := DecomposeContext(ctx, g, Options{K: 4, Alpha: 0.1, DisablePeeling: true, Workers: 4}, engine)
+	if sst != pst {
+		t.Fatalf("serial stats %+v != parallel stats %+v", sst, pst)
+	}
+	for v := range serial {
+		if serial[v] != par[v] {
+			t.Fatalf("vertex %d: serial %d, parallel %d", v, serial[v], par[v])
+		}
+	}
+}
+
+// TestWorkerPoolDrainsOnCancel cancels mid-run: the pool must finish every
+// component (no vertex left uncolored) with late components on the fallback.
+func TestWorkerPoolDrainsOnCancel(t *testing.T) {
+	// 100 disjoint K5 cliques: conflict degree 4 = K, so nothing peels and
+	// every component reaches the solver (or its fallback) exactly once.
+	g := graph.New(500)
+	for base := 0; base < 500; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddConflict(base+i, base+j)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	engine := func(sub *graph.Graph) []int {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		res := coloring.FromGraph(sub).Backtrack(4, 0.1, 0)
+		return res.Colors
+	}
+	colors, st := DecomposeContext(ctx, g, Options{K: 4, Alpha: 0.1, Workers: 4}, engine)
+	if err := coloring.Validate(g, colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.SolverCalls+st.Fallbacks != 100 {
+		t.Fatalf("expected 100 pieces total, got %+v", st)
+	}
+	if st.Fallbacks == 0 {
+		t.Fatalf("expected some fallbacks after mid-run cancel, got %+v", st)
 	}
 }

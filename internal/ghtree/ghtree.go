@@ -20,6 +20,7 @@
 package ghtree
 
 import (
+	"context"
 	"sort"
 
 	"mpl/internal/graph"
@@ -55,6 +56,18 @@ type node struct {
 // components are joined by weight-0 tree edges, consistent with their
 // minimum cut being 0. Parallel edges are allowed and their capacities add.
 func Build(n int, edges []WeightedEdge) *Tree {
+	return buildCtx(nil, n, edges)
+}
+
+// BuildContext is Build with cooperative cancellation: ctx is polled before
+// each of the n−1 max-flow computations (the dominant cost on large blocks)
+// and the function returns nil when cancelled before the tree is complete —
+// a partial contraction tree is not a cut tree, so no partial result exists.
+func BuildContext(ctx context.Context, n int, edges []WeightedEdge) *Tree {
+	return buildCtx(ctx.Done(), n, edges)
+}
+
+func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge) *Tree {
 	t := &Tree{Parent: make([]int, n), Weight: make([]int64, n)}
 	if n == 0 {
 		return t
@@ -94,6 +107,13 @@ func Build(n int, edges []WeightedEdge) *Tree {
 	// Work queue of node indices that may still hold multiple vertices.
 	queue := []int{0}
 	for len(queue) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return nil
+			default:
+			}
+		}
 		xi := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		x := nodes[xi]
@@ -213,12 +233,22 @@ func Build(n int, edges []WeightedEdge) *Tree {
 // decomposition graph, each with unit capacity — the configuration used by
 // the paper's 3-cut (general (K−1)-cut) detection.
 func BuildFromConflictGraph(g *graph.Graph) *Tree {
+	return Build(g.N(), conflictEdges(g))
+}
+
+// BuildFromConflictGraphContext is BuildFromConflictGraph with the
+// cancellation semantics of BuildContext (nil when cancelled).
+func BuildFromConflictGraphContext(ctx context.Context, g *graph.Graph) *Tree {
+	return BuildContext(ctx, g.N(), conflictEdges(g))
+}
+
+func conflictEdges(g *graph.Graph) []WeightedEdge {
 	edges := g.ConflictEdges()
 	wedges := make([]WeightedEdge, len(edges))
 	for i, e := range edges {
 		wedges[i] = WeightedEdge{U: e.U, V: e.V, W: 1}
 	}
-	return Build(g.N(), wedges)
+	return wedges
 }
 
 // MinCut returns the minimum cut value between u and v: the smallest edge

@@ -7,6 +7,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -80,6 +81,10 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds explored nodes; zero means no limit.
 	MaxNodes int
+	// Ctx, when non-nil, cancels the search cooperatively: the incumbent at
+	// cancellation time is returned with a Feasible (or TimedOut) status,
+	// the same contract as an expired TimeLimit.
+	Ctx context.Context
 }
 
 const intTol = 1e-6
@@ -96,6 +101,9 @@ func Solve(p *Problem, opts Options) Result {
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
 	}
 
 	// Box constraints x_j <= 1 for binary variables, shared by every node.
@@ -127,6 +135,7 @@ type searcher struct {
 	prob     *Problem
 	base     lp.Problem
 	deadline time.Time
+	done     <-chan struct{}
 	maxNode  int
 	nodes    int
 	bestObj  float64
@@ -141,6 +150,14 @@ func (s *searcher) timeUp() bool {
 	if s.maxNode > 0 && s.nodes >= s.maxNode {
 		s.stopped = true
 		return true
+	}
+	if s.done != nil {
+		select {
+		case <-s.done:
+			s.stopped = true
+			return true
+		default:
+		}
 	}
 	// Check the clock sparingly.
 	if !s.deadline.IsZero() && s.nodes%16 == 0 && time.Now().After(s.deadline) {

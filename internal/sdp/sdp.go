@@ -20,6 +20,7 @@
 package sdp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -91,6 +92,15 @@ func (s *Solution) Pair(i, j int) float64 {
 
 // Solve runs the relaxation on the decomposition graph g.
 func Solve(g *graph.Graph, opts Options) *Solution {
+	return SolveContext(context.Background(), g, opts)
+}
+
+// SolveContext runs the relaxation, polling ctx inside the gradient-descent
+// iteration loop. On cancellation it returns the best solution found so far
+// (after at least one restart has been initialized), which downstream
+// consumers can still round — quality degrades gracefully with the time
+// allowed rather than the call hanging until convergence.
+func SolveContext(ctx context.Context, g *graph.Graph, opts Options) *Solution {
 	n := g.N()
 	opts = opts.withDefaults(n)
 	if n == 0 {
@@ -101,13 +111,20 @@ func Solve(g *graph.Graph, opts Options) *Solution {
 	se := g.StitchEdges()
 	target := -1.0 / float64(opts.K-1)
 
+	done := ctx.Done()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var best *state
+restarts:
 	for restart := 0; restart < opts.Restarts; restart++ {
 		st := newState(n, opts.Rank, rng)
-		st.descend(ce, se, opts, target)
+		st.descend(done, ce, se, opts, target)
 		if best == nil || st.score(ce, target) < best.score(ce, target) {
 			best = st
+		}
+		select {
+		case <-done:
+			break restarts // cancelled: keep the incumbent, stop restarting
+		default:
 		}
 	}
 
@@ -198,7 +215,8 @@ func (st *state) score(ce []graph.Edge, target float64) float64 {
 }
 
 // descend runs projected gradient descent with an escalating penalty weight.
-func (st *state) descend(ce, se []graph.Edge, opts Options, target float64) {
+// It polls done between iterations and stops early when closed.
+func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options, target float64) {
 	n := len(st.v)
 	if n == 0 {
 		return
@@ -223,6 +241,11 @@ func (st *state) descend(ce, se []graph.Edge, opts Options, target float64) {
 		return true
 	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
 		for i := range st.grad {
 			for j := range st.grad[i] {
 				st.grad[i][j] = 0

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"mpl/internal/core"
+	"mpl/internal/layout"
+)
+
+// LayoutHash returns a hex digest identifying the layout geometry: the
+// process parameters and every feature's rectangles, in order. The layout
+// name is deliberately excluded — it never influences a decomposition — so
+// renamed copies of one layout share cache entries. Feature and rectangle
+// order are preserved: reordering changes fragment indexing (and hence the
+// Colors slice), so order-insensitive hashing would alias distinct results.
+func LayoutHash(l *layout.Layout) string {
+	h := sha256.New()
+	var buf [16]byte
+	put := func(vals ...int) {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf[:8], uint64(int64(v)))
+			h.Write(buf[:8])
+		}
+	}
+	put(l.Process.MinWidth, l.Process.MinSpace, l.Process.HalfPitch)
+	put(len(l.Features))
+	for _, f := range l.Features {
+		put(len(f.Rects))
+		for _, r := range f.Rects {
+			put(r.X0, r.Y0, r.X1, r.Y1)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// resultKey keys the result cache: layout geometry plus every solve-affecting
+// option. Options are normalized first so default spellings ({} vs {K: 4})
+// share an entry, and Division.Workers is zeroed because worker count never
+// changes the (deterministic) result, only how fast it arrives.
+func resultKey(layoutHash string, opts core.Options) string {
+	opts = opts.Normalize()
+	opts.Division.Workers = 0
+	return layoutHash + "|" + fmt.Sprintf("%#v", opts)
+}
+
+// graphKey keys the decomposition-graph cache: layout geometry plus the
+// graph-construction options only, so algorithm sweeps over one layout
+// (cmd/evaluate's tables) build each graph once.
+func graphKey(layoutHash string, build core.BuildOptions) string {
+	return layoutHash + "|" + fmt.Sprintf("%#v", build)
+}

@@ -1,0 +1,359 @@
+// Package service is the serving layer over the decomposition pipeline: a
+// layout-hash keyed LRU result cache with single-flight deduplication, a
+// decomposition-graph cache shared by algorithm sweeps, and a
+// bounded-concurrency batch runner. It exists so callers with many or
+// repeated layouts (the HTTP API of `qpld serve`, the table sweeps of
+// cmd/evaluate) get concurrency and caching without re-implementing either,
+// while cancellation flows straight through to core.DecomposeGraphContext.
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpl/internal/core"
+	"mpl/internal/layout"
+)
+
+// Config sizes a Service. The zero value is usable.
+type Config struct {
+	// CacheSize caps the number of cached results (and, independently, of
+	// cached decomposition graphs); 0 means 128, negative disables caching.
+	CacheSize int
+	// Workers caps concurrently running decompositions across all callers;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// DefaultTimeout, when positive, bounds each decomposition that arrives
+	// with a context carrying no earlier deadline.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      uint64 // result served from cache (including waits on an in-flight solve)
+	Misses    uint64 // result required a solve
+	Evictions uint64 // cache entries dropped by the LRU policy
+	GraphHits uint64 // graph builds avoided by the graph cache
+	Size      int    // current result-cache entry count
+}
+
+// Service runs decompositions with caching and bounded concurrency. Safe
+// for concurrent use.
+type Service struct {
+	cfg   Config
+	sem   chan struct{} // full-quality solves
+	fbSem chan struct{} // fallback solves for requests whose deadline expired while queued
+
+	mu      sync.Mutex
+	results *lru // key -> *entry (may be in-flight)
+	graphs  *lru // key -> *graphEntry (may be in-flight)
+	stats   Stats
+}
+
+// entry is one result-cache slot. ready is closed once res/err are set;
+// until then other callers with the same key wait on it (single-flight).
+type entry struct {
+	ready chan struct{}
+	res   *core.Result
+	err   error
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		fbSem:   make(chan struct{}, cfg.Workers),
+		results: newLRU(cfg.CacheSize),
+		graphs:  newLRU(cfg.CacheSize),
+	}
+}
+
+// Decompose runs (or reuses) one decomposition. cached reports whether the
+// result was served from the cache or by waiting on an identical in-flight
+// solve. The returned Result has its own Colors slice, so callers may
+// mutate it (e.g. BalanceMasks) without corrupting the cache.
+func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Options) (res *core.Result, cached bool, err error) {
+	if opts.K != 0 && opts.K < 2 {
+		return nil, false, fmt.Errorf("service: K must be >= 2, got %d", opts.K)
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	lh := LayoutHash(l)
+	key := resultKey(lh, opts)
+
+	var e *entry
+	for e == nil {
+		s.mu.Lock()
+		if v, ok := s.results.get(key); ok {
+			shared := v.(*entry)
+			s.stats.Hits++
+			s.mu.Unlock()
+			select {
+			case <-shared.ready:
+			case <-ctx.Done():
+				// Our deadline expired while waiting on someone else's
+				// solve. Answer degraded ourselves — the same contract the
+				// owner path honors — instead of turning a cache-key
+				// collision into an error. The result is uncacheable by
+				// construction, so it bypasses the entry bookkeeping.
+				res, err := s.solve(ctx, lh, l, opts)
+				if err != nil {
+					return nil, false, err
+				}
+				return res, false, nil
+			}
+			// A healthy completed solve is shareable. A degraded or failed
+			// one reflects the owning caller's context, not this one's, so
+			// retry under our own: the owner has already removed the entry,
+			// making the next loop iteration a fresh miss (or a wait on a
+			// newer in-flight solve).
+			if shared.err == nil && shared.res.Degraded == 0 {
+				return copyResult(shared.res), true, nil
+			}
+			continue
+		}
+		e = &entry{ready: make(chan struct{})}
+		s.stats.Misses++
+		s.results.put(key, e, &s.stats.Evictions)
+		s.stats.Size = s.results.len()
+		s.mu.Unlock()
+	}
+
+	e.res, e.err = s.solve(ctx, lh, l, opts)
+	// Degraded or failed solves are not worth caching: a later caller with
+	// a healthy deadline deserves a full-quality run. removeIf guards
+	// against deleting a newer entry that replaced ours after an eviction.
+	if e.err != nil || e.res.Degraded > 0 {
+		s.mu.Lock()
+		s.results.removeIf(key, e)
+		s.stats.Size = s.results.len()
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return copyResult(e.res), false, nil
+}
+
+// solve acquires a concurrency slot, builds (or reuses) the decomposition
+// graph, and colors it.
+func (s *Service) solve(ctx context.Context, lh string, l *layout.Layout, opts core.Options) (*core.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		// The deadline expired while queued for a full-quality slot. Under
+		// a cancelled context the pipeline takes the cheap linear-fallback
+		// path, so the caller still receives a valid degraded coloring
+		// instead of an error — but through a separate bounded semaphore,
+		// so an overload burst of expired requests cannot run unbounded
+		// graph builds. The wait here is short: every fallback solve ahead
+		// of us is milliseconds-scale.
+		s.fbSem <- struct{}{}
+		defer func() { <-s.fbSem }()
+	}
+
+	dg, err := s.graphFor(lh, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecomposeGraphContext(ctx, dg, opts)
+}
+
+// graphEntry is one graph-cache slot; ready is closed once g/err are set,
+// so concurrent requests for one layout build its graph exactly once.
+type graphEntry struct {
+	ready chan struct{}
+	g     *core.Graph
+	err   error
+}
+
+// graphFor returns the decomposition graph for the layout, building it at
+// most once per (layout, build options) across concurrent callers. Waiting
+// on another caller's in-flight build is not interruptible: the build is
+// already running, always terminates, and finishing the wait is the fastest
+// route to any answer — including a degraded one.
+func (s *Service) graphFor(lh string, l *layout.Layout, opts core.Options) (*core.Graph, error) {
+	build := opts.Normalize().Build
+	gk := graphKey(lh, build)
+	for {
+		s.mu.Lock()
+		if v, ok := s.graphs.get(gk); ok {
+			ge := v.(*graphEntry)
+			s.stats.GraphHits++
+			s.mu.Unlock()
+			<-ge.ready
+			if ge.err == nil {
+				return ge.g, nil
+			}
+			continue // owner removed the failed entry; retry (or own) fresh
+		}
+		ge := &graphEntry{ready: make(chan struct{})}
+		s.graphs.put(gk, ge, nil)
+		s.mu.Unlock()
+		ge.g, ge.err = core.BuildGraph(l, build)
+		if ge.err != nil {
+			s.mu.Lock()
+			s.graphs.removeIf(gk, ge)
+			s.mu.Unlock()
+		}
+		close(ge.ready)
+		return ge.g, ge.err
+	}
+}
+
+// StatsSnapshot returns current cache statistics.
+func (s *Service) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Size = s.results.len()
+	return st
+}
+
+// copyResult returns a shallow copy with an independent Colors slice (the
+// only part of a Result its public API mutates, via BalanceMasks).
+func copyResult(r *core.Result) *core.Result {
+	cp := *r
+	cp.Colors = append([]int(nil), r.Colors...)
+	return &cp
+}
+
+// Request is one unit of batch work.
+type Request struct {
+	// Name labels the request in its Response (e.g. a circuit name).
+	Name string
+	// Layout is the layout to decompose.
+	Layout *layout.Layout
+	// Options configures the run.
+	Options core.Options
+}
+
+// Response pairs a Request with its outcome, in the same slice position.
+type Response struct {
+	Name    string
+	Result  *core.Result
+	Cached  bool
+	Err     error
+	Elapsed time.Duration
+}
+
+// DecomposeAll runs every request through Decompose with at most
+// Config.Workers solves in flight, returning responses in request order.
+// Cancelling ctx degrades rather than abandons: requests already solving
+// finish via core's fallback path, and not-yet-started requests return
+// quickly with linear-fallback results or ctx errors.
+func (s *Service) DecomposeAll(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	workers := s.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				res, cached, err := s.Decompose(ctx, reqs[i].Layout, reqs[i].Options)
+				out[i] = Response{
+					Name:    reqs[i].Name,
+					Result:  res,
+					Cached:  cached,
+					Err:     err,
+					Elapsed: time.Since(t0),
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// lru is a tiny mutex-free (caller-locked) LRU map over container/list.
+type lru struct {
+	cap   int
+	ll    *list.List // front = most recent; Value = *lruItem
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) len() int { return c.ll.Len() }
+
+func (c *lru) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+func (c *lru) put(key string, val any, evictions *uint64) {
+	if c.cap < 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		if evictions != nil {
+			*evictions++
+		}
+	}
+}
+
+// removeIf deletes key only while it still maps to val: after an LRU
+// eviction a newer caller may have re-registered the key, and that entry
+// belongs to them, not to the evicted owner doing cleanup.
+func (c *lru) removeIf(key string, val any) {
+	if el, ok := c.items[key]; ok && el.Value.(*lruItem).val == val {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}

@@ -25,9 +25,33 @@
 // The zero Options value selects quadruple patterning (K = 4) with the
 // paper's parameters: α = 0.1, t_th = 0.9, and every graph-division
 // technique enabled.
+//
+// # Cancellation and deadlines
+//
+// DecomposeContext and DecomposeGraphContext accept a context.Context and
+// honor cancellation cooperatively: the SDP coordinate-descent loop, the
+// merged-graph branch-and-bound, and the ILP search all poll the context
+// and stop at their next checkpoint, returning their incumbent; graph
+// pieces whose solve has not started fall back to the linear-time engine.
+// A cancelled call therefore still returns a valid (possibly lower-quality)
+// Result — Result.Degraded counts the fallback pieces and Result.Proven is
+// false — so callers serving traffic under a deadline always get a usable
+// mask assignment:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	res, err := mpl.DecomposeContext(ctx, l, mpl.Options{K: 4})
+//
+// # Serving
+//
+// The qpld command's serve subcommand exposes decomposition as an HTTP
+// JSON API backed by a layout-hash keyed LRU result cache and a
+// bounded-concurrency batch runner (internal/service); see the README.
 package mpl
 
 import (
+	"context"
+
 	"mpl/internal/core"
 	"mpl/internal/geom"
 	"mpl/internal/layout"
@@ -91,6 +115,21 @@ func NewPolygon(rects ...Rect) Polygon { return geom.NewPolygon(rects...) }
 // construction, division, color assignment, reassembly.
 func Decompose(l *Layout, opts Options) (*Result, error) {
 	return core.Decompose(l, opts)
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: on ctx
+// cancellation or deadline expiry the expensive engines stop at their next
+// checkpoint and unsolved graph pieces fall back to the linear-time
+// heuristic, so a valid best-effort Result is still returned (with
+// Result.Degraded > 0 and Result.Proven == false).
+func DecomposeContext(ctx context.Context, l *Layout, opts Options) (*Result, error) {
+	return core.DecomposeContext(ctx, l, opts)
+}
+
+// DecomposeGraphContext is DecomposeGraph with the cancellation semantics
+// of DecomposeContext.
+func DecomposeGraphContext(ctx context.Context, g *DecompGraph, opts Options) (*Result, error) {
+	return core.DecomposeGraphContext(ctx, g, opts)
 }
 
 // BuildGraph constructs only the decomposition graph, for callers that want
