@@ -12,10 +12,13 @@ package mpl_test
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
 	"mpl"
+	"mpl/internal/benchrec"
 	"mpl/internal/coloring"
 	"mpl/internal/division"
 	"mpl/internal/ghtree"
@@ -154,6 +157,74 @@ func BenchmarkGraphConstruction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildGraphWorkers measures the tile-sharded parallel graph build
+// (BuildOptions.Workers) on a large synthetic layout — S38417 at double
+// scale, ~117k fragments — the wall-clock speedup claim of DESIGN.md §3.
+// The split and edge stages (~3/4 of a serial build) shard across the pool;
+// on a multi-core machine workers=8 lands well above 2× over workers=1. The
+// graph is identical at every worker count (TestParallelBuildIdentical), so
+// the sub-benchmarks differ only in wall clock.
+func BenchmarkBuildGraphWorkers(b *testing.B) {
+	l, err := mpl.GenerateBenchmark("S38417", 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var frags int
+			for i := 0; i < b.N; i++ {
+				g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frags = g.Stats.Fragments
+			}
+			b.ReportMetric(float64(frags), "fragments")
+		})
+	}
+}
+
+// BenchmarkTrajectorySmoke is the bench-side entry point of the benchmark
+// trajectory (EXPERIMENTS.md): it runs one small circuit through build +
+// every engine and, when MPL_BENCH_JSON is set, records a
+// benchrec-formatted file there — the same schema `cmd/evaluate -json`
+// writes, so CI can produce trajectory artifacts from either path.
+func BenchmarkTrajectorySmoke(b *testing.B) {
+	const circuit = "C432"
+	l, err := mpl.GenerateBenchmark(circuit, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := &benchrec.Run{
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			Label:     "bench-smoke",
+			GoVersion: runtime.Version(),
+			NumCPU:    runtime.NumCPU(),
+			Maxprocs:  runtime.GOMAXPROCS(0),
+			K:         4, Scale: benchScale, Seed: 1, BuildWorkers: 2, DivWorkers: 1,
+		}
+		c := benchrec.CircuitOf(circuit, g.Stats)
+		for _, alg := range table1Algorithms {
+			res, err := mpl.DecomposeGraph(g, mpl.Options{K: 4, Algorithm: alg, Seed: 1, ILPTimeLimit: 10 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(alg.String(), res))
+		}
+		rec.Circuits = append(rec.Circuits, c)
+		if path := os.Getenv("MPL_BENCH_JSON"); path != "" {
+			if err := rec.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -5,12 +5,18 @@
 //	evaluate -k 5              # Table 2: SDP+Backtrack vs SDP+Greedy vs Linear
 //	evaluate -ablation division   # GH-tree / peeling / biconnected on-off sweep
 //	evaluate -ablation threshold  # Algorithm 1 t_th sweep
+//	evaluate -json auto           # record a BENCH_<timestamp>.json trajectory entry
 //
 // Per circuit and algorithm it prints the conflict number (cn#), stitch
 // number (st#) and color-assignment CPU seconds (the solver stage of the
 // Fig. 2 flow), then the avg and ratio rows in the paper's format. ILP rows
 // whose time budget expires print "N/A", mirroring the paper's ">3600s"
 // entries.
+//
+// The -json mode runs circuits one at a time (no batch concurrency, so wall
+// times are uncontended) and writes per-stage graph-construction, division
+// and solver timings plus cn#/st# to a benchmark-trajectory file; see
+// EXPERIMENTS.md for how the recorded series is used.
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"mpl"
+	"mpl/internal/benchrec"
 	"mpl/internal/division"
 	"mpl/internal/report"
 	"mpl/internal/service"
@@ -38,18 +46,34 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: the table's own list)")
 	algsFlag := flag.String("algs", "", "comma-separated algorithm subset (default: the table's own list)")
 	workers := flag.Int("workers", 1, "parallel component workers (deterministic for any value)")
+	buildWorkers := flag.Int("build-workers", 1, "parallel graph-construction workers (deterministic for any value)")
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent circuit solves in table mode (0 = GOMAXPROCS)")
 	ablation := flag.String("ablation", "", "run an ablation instead of a table: division, threshold")
+	jsonOut := flag.String("json", "", "write a benchmark-trajectory JSON instead of a table: a path, or 'auto' for BENCH_<timestamp>.json")
+	jsonLabel := flag.String("json-label", "trajectory", "label stored in the -json record")
 	flag.Parse()
 
 	names := circuitList(*circuits, *k)
+	if *jsonOut != "" {
+		if *ablation != "" {
+			log.Fatal("-json and -ablation are mutually exclusive")
+		}
+		if *batchWorkers > 1 {
+			// Trajectory wall times must be uncontended to be comparable.
+			// (-batch-workers 1 requests exactly the sequential behavior
+			// -json already guarantees, so it passes.)
+			log.Fatal("-json runs circuits strictly sequentially; -batch-workers > 1 does not apply")
+		}
+		runJSON(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *jsonOut, *jsonLabel)
+		return
+	}
 	switch *ablation {
 	case "":
-		runTable(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *batchWorkers)
+		runTable(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *batchWorkers)
 	case "division":
-		runDivisionAblation(names, *k, *scale, *seed, *workers)
+		runDivisionAblation(names, *k, *scale, *seed, *workers, *buildWorkers)
 	case "threshold":
-		runThresholdAblation(names, *k, *scale, *seed, *workers)
+		runThresholdAblation(names, *k, *scale, *seed, *workers, *buildWorkers)
 	default:
 		log.Fatalf("unknown ablation %q (want division or threshold)", *ablation)
 	}
@@ -75,14 +99,14 @@ func circuitList(flagVal string, k int) []string {
 	return names
 }
 
-func buildGraphs(names []string, k int, scale float64) map[string]*mpl.DecompGraph {
+func buildGraphs(names []string, k int, scale float64, buildWorkers int) map[string]*mpl.DecompGraph {
 	out := make(map[string]*mpl.DecompGraph, len(names))
 	for _, name := range names {
 		l, err := mpl.GenerateBenchmark(name, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: k})
+		g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: k, Workers: buildWorkers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +115,8 @@ func buildGraphs(names []string, k int, scale float64) map[string]*mpl.DecompGra
 	return out
 }
 
-func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, batchWorkers int) {
+// algList resolves the -algs flag, defaulting to the table's own columns.
+func algList(algsFlag string, k int) []mpl.Algorithm {
 	var algs []mpl.Algorithm
 	switch {
 	case algsFlag != "":
@@ -107,6 +132,11 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 	default:
 		algs = []mpl.Algorithm{mpl.ILP, mpl.SDPBacktrack, mpl.SDPGreedy, mpl.Linear}
 	}
+	return algs
+}
+
+func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers, batchWorkers int) {
+	algs := algList(algsFlag, k)
 	cols := make([]string, len(algs))
 	hasBT := false
 	for i, a := range algs {
@@ -146,7 +176,7 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 					Algorithm:    a,
 					Seed:         seed,
 					ILPTimeLimit: ilpBudget,
-					Build:        mpl.BuildOptions{K: k},
+					Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
 					Division:     division.Options{Workers: workers},
 				},
 			})
@@ -183,7 +213,7 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 
 // runDivisionAblation compares SDP+Backtrack with each division technique
 // disabled in turn (the DESIGN.md §4 ablation).
-func runDivisionAblation(names []string, k int, scale float64, seed int64, workers int) {
+func runDivisionAblation(names []string, k int, scale float64, seed int64, workers, buildWorkers int) {
 	configs := []struct {
 		name string
 		opt  division.Options
@@ -200,7 +230,7 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 	title := fmt.Sprintf("division ablation, SDP+Backtrack, K=%d, scale %.2f", k, scale)
 	tbl := report.New(title, cols, "all-on")
 	for _, name := range names {
-		g := buildGraphs([]string{name}, k, scale)[name]
+		g := buildGraphs([]string{name}, k, scale, buildWorkers)[name]
 		cells := make([]report.Cell, 0, len(configs))
 		for _, c := range configs {
 			opt := c.opt
@@ -224,8 +254,63 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 	}
 }
 
+// runJSON records one benchmark-trajectory entry (internal/benchrec): per
+// circuit, a timed graph build plus every requested engine, run strictly
+// sequentially so wall times do not contend with each other.
+func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers int, outPath, label string) {
+	start := time.Now()
+	if outPath == "auto" {
+		outPath = benchrec.DefaultFilename(start)
+	}
+	algs := algList(algsFlag, k)
+	run := &benchrec.Run{
+		Timestamp:    start.UTC().Format(time.RFC3339),
+		Label:        label,
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Maxprocs:     runtime.GOMAXPROCS(0),
+		K:            k,
+		Scale:        scale,
+		Seed:         seed,
+		BuildWorkers: buildWorkers,
+		DivWorkers:   workers,
+		ILPBudgetMs:  float64(ilpBudget.Milliseconds()),
+	}
+	for _, name := range names {
+		l, err := mpl.GenerateBenchmark(name, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: k, Workers: buildWorkers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := benchrec.CircuitOf(name, g.Stats)
+		for _, a := range algs {
+			res, err := mpl.DecomposeGraph(g, mpl.Options{
+				K:            k,
+				Algorithm:    a,
+				Seed:         seed,
+				ILPTimeLimit: ilpBudget,
+				Division:     division.Options{Workers: workers},
+			})
+			if err != nil {
+				log.Fatalf("%s/%v: %v", name, a, err)
+			}
+			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(a.String(), res))
+		}
+		run.Circuits = append(run.Circuits, c)
+		fmt.Fprintf(os.Stderr, "done %s (build %.1fms, %d fragments)\n", name, c.BuildMs, c.Fragments)
+	}
+	if err := run.WriteFile(outPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d circuits, %d engines, total %.1fs)\n",
+		outPath, len(run.Circuits), len(algs), time.Since(start).Seconds())
+}
+
 // runThresholdAblation sweeps Algorithm 1's merge threshold t_th.
-func runThresholdAblation(names []string, k int, scale float64, seed int64, workers int) {
+func runThresholdAblation(names []string, k int, scale float64, seed int64, workers, buildWorkers int) {
 	ths := []float64{0.7, 0.8, 0.9, 0.99}
 	cols := make([]string, len(ths))
 	for i, t := range ths {
@@ -234,7 +319,7 @@ func runThresholdAblation(names []string, k int, scale float64, seed int64, work
 	title := fmt.Sprintf("t_th ablation, SDP+Backtrack, K=%d, scale %.2f", k, scale)
 	tbl := report.New(title, cols, "tth=0.90")
 	for _, name := range names {
-		g := buildGraphs([]string{name}, k, scale)[name]
+		g := buildGraphs([]string{name}, k, scale, buildWorkers)[name]
 		cells := make([]report.Cell, 0, len(ths))
 		for _, th := range ths {
 			res, err := mpl.DecomposeGraph(g, mpl.Options{

@@ -11,6 +11,9 @@
 //	POST /v1/decompose/batch  decompose many layouts concurrently
 //	GET  /v1/stats            cache and concurrency statistics
 //	GET  /healthz             liveness probe
+//
+// The full request/response schema, error codes, and cache semantics are
+// documented in docs/API.md.
 package main
 
 import (
@@ -55,8 +58,9 @@ type decomposeRequest struct {
 	Algorithm    string     `json:"algorithm,omitempty"` // ilp, sdp-backtrack, sdp-greedy, linear
 	Alpha        float64    `json:"alpha,omitempty"`
 	Seed         int64      `json:"seed,omitempty"`
-	Workers      int        `json:"workers,omitempty"`    // per-request component workers
-	TimeoutMs    int64      `json:"timeout_ms,omitempty"` // capped by the server's -timeout
+	Workers      int        `json:"workers,omitempty"`       // per-request component workers
+	BuildWorkers int        `json:"build_workers,omitempty"` // graph-construction workers, capped by -build-workers
+	TimeoutMs    int64      `json:"timeout_ms,omitempty"`    // capped by the server's -timeout
 	IncludeMasks bool       `json:"include_masks,omitempty"`
 	Layout       layoutJSON `json:"layout"`
 }
@@ -89,17 +93,22 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8470", "listen address")
 	cacheSize := fs.Int("cache", 256, "LRU result-cache entries (negative disables caching)")
 	workers := fs.Int("workers", 0, "max concurrent decompositions (0 = GOMAXPROCS)")
+	buildWorkers := fs.Int("build-workers", 0, "graph-construction workers: default for requests and cap on their build_workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline cap")
 	maxBody := fs.Int64("max-body", 64<<20, "maximum request body bytes")
 	fs.Parse(args)
 
+	bw := *buildWorkers
+	if bw <= 0 {
+		bw = runtime.GOMAXPROCS(0)
+	}
 	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
-	srv := &server{svc: svc, maxTimeout: *timeout, maxBody: *maxBody}
+	srv := &server{svc: svc, maxTimeout: *timeout, maxBody: *maxBody, buildWorkers: bw}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("serving on %s (cache %d, workers %d, timeout cap %s)", *addr, *cacheSize, w, *timeout)
+	log.Printf("serving on %s (cache %d, workers %d, build workers %d, timeout cap %s)", *addr, *cacheSize, w, bw, *timeout)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		log.Fatal(err)
 	}
@@ -109,6 +118,9 @@ type server struct {
 	svc        *service.Service
 	maxTimeout time.Duration
 	maxBody    int64
+	// buildWorkers is the resolved -build-workers value: the default for
+	// requests that omit build_workers and the cap for those that set it.
+	buildWorkers int
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -196,6 +208,17 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 	if limit := runtime.GOMAXPROCS(0); workers > limit {
 		workers = limit
 	}
+	// Graph construction likewise: build_workers defaults to the server's
+	// -build-workers and is capped by it. Note the bound is per request —
+	// aggregate build goroutines can reach -workers × -build-workers when
+	// every in-flight request is in its build stage (builds are short
+	// relative to solves, so sustained overlap is rare); operators running
+	// high request concurrency on narrow machines should lower
+	// -build-workers (see docs/API.md).
+	buildWorkers := req.BuildWorkers
+	if buildWorkers <= 0 || buildWorkers > s.buildWorkers {
+		buildWorkers = s.buildWorkers
+	}
 	l, err := layoutFromJSON(req.Layout)
 	if err != nil {
 		return decomposeResponse{}, err
@@ -213,6 +236,7 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 		Algorithm: alg,
 		Alpha:     req.Alpha,
 		Seed:      req.Seed,
+		Build:     core.BuildOptions{Workers: buildWorkers},
 		Division:  division.Options{Workers: workers},
 	}
 

@@ -1,0 +1,141 @@
+package mpl_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdRef matches a markdown-file reference inside a comment, e.g. DESIGN.md,
+// docs/API.md, or EXPERIMENTS.md.
+var mdRef = regexp.MustCompile(`[A-Za-z0-9_./-]*[A-Za-z0-9_-]\.md\b`)
+
+// urlRef matches URLs inside comment text; .md paths under a URL point at
+// external sites, not repo files, and must not be integrity-checked.
+var urlRef = regexp.MustCompile(`[a-z][a-z0-9+.-]*://\S+`)
+
+// TestDocCommentReferencesResolve is the docs-integrity gate: every *.md
+// file referenced from a Go comment anywhere in the repository must exist
+// (relative to the repo root), so documentation pointers like "DESIGN.md §5"
+// can never dangle again. CI runs this as a dedicated step.
+func TestDocCommentReferencesResolve(t *testing.T) {
+	root, err := os.Getwd() // the root package lives at the repo root
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string][]string{} // md path -> referencing files
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			// Only comment text: doc references live in comments, and
+			// scanning string literals would flag synthesized names. A "//"
+			// preceded by ':' is a URL scheme inside a literal ("https://"),
+			// not a comment start — skip past it.
+			idx, off := -1, 0
+			for {
+				i := strings.Index(line[off:], "//")
+				if i < 0 {
+					break
+				}
+				at := off + i
+				if at > 0 && line[at-1] == ':' {
+					off = at + 2
+					continue
+				}
+				idx = at
+				break
+			}
+			if idx < 0 {
+				continue
+			}
+			comment := urlRef.ReplaceAllString(line[idx:], "")
+			for _, m := range mdRef.FindAllString(comment, -1) {
+				rel, _ := filepath.Rel(root, path)
+				refs[m] = append(refs[m], rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no markdown references found in Go comments; the scanner is broken")
+	}
+	for md, files := range refs {
+		if _, err := os.Stat(filepath.Join(root, md)); err != nil {
+			t.Errorf("dangling doc reference %q (from %s)", md, strings.Join(dedup(files), ", "))
+		}
+	}
+}
+
+// TestInternalPackageDocs: every internal/* package must carry a
+// package-level doc comment ("// Package <name> ...") in at least one of
+// its non-test files, so `go doc` is useful for every layer of the
+// pipeline.
+func TestInternalPackageDocs(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found")
+	}
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		pkg := filepath.Base(dir)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(data), "// Package "+pkg+" ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("package internal/%s has no package-level doc comment", pkg)
+		}
+	}
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package mpl_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mpl"
+)
+
+// crossAndWire builds a small layout with both objective terms in play: a
+// Fig. 7-style cross cluster of five contacts at 40 nm pitch (a K5 under
+// the paper's 80 nm quadruple-patterning coloring distance, so one conflict
+// is unavoidable with four masks) and, far away, a wire whose ends are
+// pinned by neighbors so it carries one stitch candidate.
+func crossAndWire() *mpl.Layout {
+	l := mpl.NewLayout("example")
+	// Cross cluster: center contact plus four at ±40 nm.
+	for _, d := range [][2]int{{0, 0}, {40, 0}, {-40, 0}, {0, 40}, {0, -40}} {
+		l.AddRect(mpl.Rect{X0: d[0], Y0: d[1], X1: d[0] + 20, Y1: d[1] + 20})
+	}
+	// A wire with conflicting neighbors near both ends; the uncovered middle
+	// admits one projection-derived stitch candidate.
+	l.AddRect(mpl.Rect{X0: 400, Y0: 0, X1: 800, Y1: 20})
+	l.AddRect(mpl.Rect{X0: 400, Y0: 60, X1: 460, Y1: 80})
+	l.AddRect(mpl.Rect{X0: 740, Y0: 60, X1: 800, Y1: 80})
+	return l
+}
+
+// ExampleDecompose runs the full Fig. 2 flow on a tiny layout and prints
+// the Table-1 objective values (conflict and stitch counts).
+func ExampleDecompose() {
+	l := crossAndWire()
+
+	res, err := mpl.Decompose(l, mpl.Options{K: 4, Algorithm: mpl.SDPBacktrack, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Graph.Stats
+	fmt.Printf("features=%d fragments=%d conflictEdges=%d stitchEdges=%d\n",
+		st.Features, st.Fragments, st.ConflictEdges, st.StitchEdges)
+	fmt.Printf("conflicts=%d stitches=%d proven=%v\n", res.Conflicts, res.Stitches, res.Proven)
+
+	// Cross-check the coloring against raw geometry.
+	conf, stit, err := mpl.Verify(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified conflicts=%d stitches=%d\n", conf, stit)
+	// Output:
+	// features=8 fragments=9 conflictEdges=12 stitchEdges=1
+	// conflicts=1 stitches=0 proven=true
+	// verified conflicts=1 stitches=0
+}
+
+// ExampleDecomposeContext shows the deadline contract: a cancelled (or
+// deadline-expired) context still yields a valid best-effort coloring —
+// solver-stage pieces fall back to the linear-time engine, Result.Degraded
+// counts them, and Proven turns false — instead of an error, so a serving
+// layer always has an answer.
+func ExampleDecomposeContext() {
+	l := mpl.NewLayout("deadline")
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			// A 50 nm-pitch grid keeps conflict degree ≥ 4, so the graph
+			// survives peeling and actually reaches the solver stage.
+			l.AddRect(mpl.Rect{X0: c * 50, Y0: r * 50, X1: c*50 + 20, Y1: r*50 + 20})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already passed when the request arrives
+
+	res, err := mpl.DecomposeContext(ctx, l, mpl.Options{K: 4, Algorithm: mpl.SDPBacktrack})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("valid=%v degraded=%v proven=%v\n",
+		len(res.Colors) == len(res.Graph.Fragments), res.Degraded > 0, res.Proven)
+	// Output:
+	// valid=true degraded=true proven=false
+}
+
+// Example_algorithmSweep builds the decomposition graph once (with the
+// parallel sharded builder) and sweeps the paper's four color-assignment
+// engines over it, mirroring examples/quickstart and the cmd/evaluate
+// tables.
+func Example_algorithmSweep() {
+	l := crossAndWire()
+
+	g, err := mpl.BuildGraph(l, mpl.BuildOptions{K: 4, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, alg := range []mpl.Algorithm{mpl.ILP, mpl.SDPBacktrack, mpl.SDPGreedy, mpl.Linear} {
+		res, err := mpl.DecomposeGraph(g, mpl.Options{K: 4, Algorithm: alg, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s conflicts=%d stitches=%d\n", alg, res.Conflicts, res.Stitches)
+	}
+	// Output:
+	// ILP           conflicts=1 stitches=0
+	// SDP+Backtrack conflicts=1 stitches=0
+	// SDP+Greedy    conflicts=1 stitches=0
+	// Linear        conflicts=1 stitches=0
+}

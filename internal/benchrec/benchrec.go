@@ -1,0 +1,135 @@
+// Package benchrec records the repository's benchmark trajectory: one JSON
+// file per recorded run, named BENCH_<timestamp>.json, holding per-circuit
+// graph-construction, division, and color-assignment wall times next to the
+// conflict and stitch counts of the paper's Tables 1–2. Every PR that
+// touches a hot path appends a new file (via `cmd/evaluate -json` or the
+// bench smoke path in bench_test.go) so regressions and speedups are
+// visible as a series, not anecdotes; EXPERIMENTS.md interprets the series.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"mpl/internal/core"
+)
+
+// Run is one recorded benchmark run: the environment it ran in plus one
+// entry per circuit. Wall-clock fields are milliseconds (floats, so
+// sub-millisecond stages stay visible).
+type Run struct {
+	// Timestamp is the RFC 3339 UTC time the run started.
+	Timestamp string `json:"timestamp"`
+	// Label distinguishes runs recorded for different reasons
+	// ("trajectory-baseline", "ci-smoke", ...).
+	Label string `json:"label,omitempty"`
+	// GoVersion, NumCPU and Maxprocs pin the hardware/runtime context —
+	// wall times from a 1-CPU container and a 32-core builder are not
+	// comparable, and the trajectory must say which one produced them.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Maxprocs  int    `json:"gomaxprocs"`
+
+	// Sweep parameters.
+	K            int     `json:"k"`
+	Scale        float64 `json:"scale"`
+	Seed         int64   `json:"seed"`
+	BuildWorkers int     `json:"build_workers"`
+	DivWorkers   int     `json:"division_workers"`
+	ILPBudgetMs  float64 `json:"ilp_budget_ms,omitempty"`
+
+	Circuits []Circuit `json:"circuits"`
+}
+
+// Circuit is one benchmark circuit's build stats and per-engine results.
+type Circuit struct {
+	Name          string  `json:"name"`
+	Features      int     `json:"features"`
+	Fragments     int     `json:"fragments"`
+	ConflictEdges int     `json:"conflict_edges"`
+	StitchEdges   int     `json:"stitch_edges"`
+	BuildMs       float64 `json:"build_ms"`
+	SplitMs       float64 `json:"split_ms"`
+	EdgeMs        float64 `json:"edge_ms"`
+	MergeMs       float64 `json:"merge_ms"`
+
+	Algorithms []AlgorithmRun `json:"algorithms"`
+}
+
+// AlgorithmRun is one engine's result on one circuit: the cn#/st# columns
+// of the paper plus the division+assignment and solver-only wall times.
+type AlgorithmRun struct {
+	Algorithm string `json:"algorithm"`
+	Conflicts int    `json:"conflicts"`
+	Stitches  int    `json:"stitches"`
+	Proven    bool   `json:"proven"`
+	// AssignMs is division plus color assignment (Result.AssignTime);
+	// SolverMs is time inside the engine only (Result.SolverTime, the
+	// paper's CPU(s) column).
+	AssignMs float64 `json:"assign_ms"`
+	SolverMs float64 `json:"solver_ms"`
+}
+
+// Ms converts a duration to the trajectory's unit (milliseconds, with
+// microsecond resolution so sub-millisecond stages stay visible).
+func Ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// CircuitOf seeds a Circuit from one build's stats — the single conversion
+// point for every trajectory writer (cmd/evaluate -json, the bench smoke
+// path), so the schema cannot drift between them.
+func CircuitOf(name string, st core.BuildStats) Circuit {
+	return Circuit{
+		Name:          name,
+		Features:      st.Features,
+		Fragments:     st.Fragments,
+		ConflictEdges: st.ConflictEdges,
+		StitchEdges:   st.StitchEdges,
+		BuildMs:       Ms(st.Timing.Total),
+		SplitMs:       Ms(st.Timing.Split),
+		EdgeMs:        Ms(st.Timing.Edges),
+		MergeMs:       Ms(st.Timing.Merge),
+	}
+}
+
+// AlgorithmRunOf records one engine's result under the given column name.
+func AlgorithmRunOf(algorithm string, res *core.Result) AlgorithmRun {
+	return AlgorithmRun{
+		Algorithm: algorithm,
+		Conflicts: res.Conflicts,
+		Stitches:  res.Stitches,
+		Proven:    res.Proven,
+		AssignMs:  Ms(res.AssignTime),
+		SolverMs:  Ms(res.SolverTime),
+	}
+}
+
+// DefaultFilename returns the canonical trajectory filename for a run
+// started at t: BENCH_<UTC timestamp>.json, lexicographically sortable.
+func DefaultFilename(t time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", t.UTC().Format("20060102T150405Z"))
+}
+
+// WriteFile writes the run as indented JSON. The file is written whole (no
+// partial trajectory entries on error).
+func (r *Run) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrec: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a previously recorded run (trajectory comparisons, tests).
+func ReadFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchrec: %s: %w", path, err)
+	}
+	return &r, nil
+}

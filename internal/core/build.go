@@ -7,8 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"mpl/internal/geom"
 	"mpl/internal/graph"
@@ -25,6 +30,25 @@ type Fragment struct {
 	Shape geom.Polygon
 }
 
+// BuildTiming reports per-stage wall-clock times of one graph build
+// (DESIGN.md §3). In a parallel build the Split and Edges stages run on the
+// worker pool; Merge is the serial deterministic assembly.
+type BuildTiming struct {
+	// Split is the stitch-candidate stage: building the rectangle grid,
+	// then features → fragments plus intra-feature stitch pair detection.
+	Split time.Duration
+	// Edges is conflict/color-friendly edge discovery: building the
+	// fragment-bounds grid (and, in parallel builds, the tile ordering),
+	// then the neighborhood scan.
+	Edges time.Duration
+	// Merge is the serial assembly: fragment numbering, stitch-edge
+	// insertion, and (in parallel builds) the deterministic edge replay.
+	Merge time.Duration
+	// Total is the end-to-end BuildGraph wall clock; it exceeds
+	// Split+Edges+Merge only by input validation and bookkeeping.
+	Total time.Duration
+}
+
 // BuildStats summarizes a constructed decomposition graph.
 type BuildStats struct {
 	Features      int
@@ -32,6 +56,12 @@ type BuildStats struct {
 	ConflictEdges int
 	StitchEdges   int
 	FriendEdges   int
+	// Workers is the worker count the build actually used (≥ 1).
+	Workers int
+	// Timing is the per-stage wall clock of this build. It is the one part
+	// of BuildStats that varies run to run; everything else is identical at
+	// any worker count.
+	Timing BuildTiming
 }
 
 // BuildOptions controls decomposition-graph construction.
@@ -51,6 +81,12 @@ type BuildOptions struct {
 	// (long wires rarely profit from more, and the cap keeps vertex counts
 	// close to the paper's "stitch candidate" regime).
 	MaxStitchesPerFeature int
+	// Workers is the number of goroutines sharding the split and
+	// edge-generation stages; 0 or 1 means serial (matching
+	// division.Options.Workers). The constructed graph is identical —
+	// fragment order, adjacency order, stats — at any worker count, so
+	// Workers is purely a wall-clock knob.
+	Workers int
 }
 
 // Graph couples the decomposition graph with fragment geometry.
@@ -68,6 +104,19 @@ type Graph struct {
 // feature, and color-friendly edges (Definition 2) between fragments of
 // different features at distance in (MinS, MinS+hp).
 func BuildGraph(l *layout.Layout, opts BuildOptions) (*Graph, error) {
+	return BuildGraphContext(context.Background(), l, opts)
+}
+
+// BuildGraphContext is BuildGraph with cooperative cancellation and optional
+// parallelism (BuildOptions.Workers). The build is sharded: features are
+// split into stitch fragments on a bounded worker pool, fragments are
+// grouped into spatial tile shards for conflict/friend edge discovery, and a
+// serial merge replays everything in deterministic order, so the resulting
+// graph is identical to a serial build. Unlike DecomposeContext — which
+// degrades rather than fails — a half-built graph has no degraded form, so
+// cancellation mid-build returns a wrapped ctx error and no graph.
+func BuildGraphContext(ctx context.Context, l *layout.Layout, opts BuildOptions) (*Graph, error) {
+	t0 := time.Now()
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,78 +133,344 @@ func BuildGraph(l *layout.Layout, opts BuildOptions) (*Graph, error) {
 	}
 	hp := l.Process.HalfPitch
 
-	// Stage 1: stitch candidate generation — split features into fragments.
-	var frags []Fragment
-	fragsOfFeature := make([][]int, len(l.Features))
-	if opts.DisableStitches {
-		for fi, f := range l.Features {
-			fragsOfFeature[fi] = []int{len(frags)}
-			frags = append(frags, Fragment{Feature: fi, Shape: f})
-		}
-	} else {
-		minSeg := opts.StitchMinSeg
-		if minSeg == 0 {
-			minSeg = l.Process.MinWidth
-		}
-		maxStitch := opts.MaxStitchesPerFeature
-		if maxStitch == 0 {
-			maxStitch = 2
-		}
-		splitter := newStitchSplitter(l, minS, minSeg, maxStitch)
-		for fi, f := range l.Features {
-			pieces := splitter.split(fi, f)
-			for _, p := range pieces {
-				fragsOfFeature[fi] = append(fragsOfFeature[fi], len(frags))
-				frags = append(frags, Fragment{Feature: fi, Shape: p})
-			}
+	workers := opts.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > 4*max {
+		// More goroutines than 4× the scheduler width only adds churn; the
+		// output is identical anyway, so clamp silently.
+		workers = 4 * max
+		if workers < 1 {
+			workers = 1
 		}
 	}
 
-	g := graph.New(len(frags))
-	st := BuildStats{Features: len(l.Features), Fragments: len(frags)}
+	b := &builder{l: l, opts: opts, minS: minS, hp: hp, workers: workers}
 
-	// Stitch edges: touching fragments of the same feature.
-	for _, ids := range fragsOfFeature {
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := frags[ids[i]].Shape, frags[ids[j]].Shape
-				if geom.GapSqPoly(a, b) == 0 {
-					if g.AddStitch(ids[i], ids[j]) {
-						st.StitchEdges++
+	// Stage 1 (parallel over features): stitch candidate generation — split
+	// features into fragment pieces and detect intra-feature stitch pairs.
+	tSplit := time.Now()
+	if err := b.splitFeatures(ctx); err != nil {
+		return nil, err
+	}
+	timing := BuildTiming{Split: time.Since(tSplit)}
+
+	// Stage 2 (serial merge): number fragments in feature order and add
+	// stitch edges; both orders match a feature-by-feature serial build.
+	tMerge := time.Now()
+	b.assembleFragments()
+	timing.Merge += time.Since(tMerge)
+
+	// Stage 3 (parallel over tile shards): conflict and color-friendly edge
+	// discovery via a shared read-only grid over fragment bounds. Each
+	// fragment i is owned by exactly one shard, which records its neighbors
+	// j > i — the cross-tile deduplication rule: a pair found from both
+	// sides is emitted only by its lower-indexed owner.
+	tEdges := time.Now()
+	if err := b.discoverEdges(ctx); err != nil {
+		return nil, err
+	}
+	timing.Edges = time.Since(tEdges)
+
+	// Stage 4 (serial merge): replay per-fragment adjacency in ascending
+	// fragment order. This reproduces the exact AddConflict/AddFriend call
+	// sequence of a serial scan, so adjacency lists are byte-identical at
+	// any worker count.
+	tMerge = time.Now()
+	b.replayEdges()
+	timing.Merge += time.Since(tMerge)
+
+	timing.Total = time.Since(t0)
+	b.stats.Workers = workers
+	b.stats.Timing = timing
+	return &Graph{G: b.g, Fragments: b.frags, Stats: b.stats, MinS: minS, HalfPitch: hp}, nil
+}
+
+// builder carries the intermediate state of one staged graph build.
+type builder struct {
+	l       *layout.Layout
+	opts    BuildOptions
+	minS    int
+	hp      int
+	workers int
+
+	// Stage 1 output, indexed by feature.
+	pieces   [][]geom.Polygon
+	stitches [][][2]int // per feature: local piece index pairs touching (gap 0)
+
+	// Stage 2 output.
+	frags          []Fragment
+	fragsOfFeature [][]int
+	g              *graph.Graph
+	stats          BuildStats
+
+	// Stage 3 output, indexed by fragment: neighbors j > i in grid
+	// enumeration order.
+	confOf   [][]int32
+	friendOf [][]int32
+}
+
+// buildCancelled wraps the context error so callers can errors.Is it while
+// seeing which stage was abandoned.
+func buildCancelled(ctx context.Context, stage string) error {
+	return fmt.Errorf("core: graph construction cancelled during %s: %w", stage, context.Cause(ctx))
+}
+
+// runSharded executes fn over [0, n) in contiguous chunks pulled from an
+// atomic cursor by min(workers, needed) goroutines. Chunk processing order
+// is nondeterministic but every output is indexed by its input position, so
+// results are deterministic. Returns promptly with ctx's error when
+// cancelled mid-build.
+func (b *builder) runSharded(ctx context.Context, n int, stage string, fn func(lo, hi int)) error {
+	if n == 0 {
+		return nil
+	}
+	workers := b.workers
+	chunk := n/(workers*4) + 1
+	if chunk < 32 {
+		chunk = 32
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers == 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if ctx.Err() != nil {
+				return buildCancelled(ctx, stage)
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return nil
+	}
+	var cursor atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				c := int(cursor.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return buildCancelled(ctx, stage)
+	}
+	return nil
+}
+
+// splitFeatures runs stage 1: per-feature stitch splitting plus local
+// stitch-pair detection, sharded across the worker pool. Output depends
+// only on the feature index, never on the shard that computed it.
+func (b *builder) splitFeatures(ctx context.Context) error {
+	nf := len(b.l.Features)
+	b.pieces = make([][]geom.Polygon, nf)
+	b.stitches = make([][][2]int, nf)
+	if b.opts.DisableStitches {
+		for fi := range b.l.Features {
+			b.pieces[fi] = []geom.Polygon{b.l.Features[fi]}
+		}
+		return nil
+	}
+	minSeg := b.opts.StitchMinSeg
+	if minSeg == 0 {
+		minSeg = b.l.Process.MinWidth
+	}
+	maxStitch := b.opts.MaxStitchesPerFeature
+	if maxStitch == 0 {
+		maxStitch = 2
+	}
+	splitter := newStitchSplitter(b.l, b.minS, minSeg, maxStitch)
+	queriers := sync.Pool{New: func() any { return splitter.grid.NewQuerier() }}
+	return b.runSharded(ctx, nf, "stitch splitting", func(lo, hi int) {
+		q := queriers.Get().(*spatial.Querier)
+		defer queriers.Put(q)
+		for fi := lo; fi < hi; fi++ {
+			ps := splitter.split(q, fi, b.l.Features[fi])
+			b.pieces[fi] = ps
+			// Touching pieces of one feature are stitch candidates; record
+			// local pairs now so the merge only replays them.
+			for i := 0; i < len(ps); i++ {
+				for j := i + 1; j < len(ps); j++ {
+					if geom.GapSqPoly(ps[i], ps[j]) == 0 {
+						b.stitches[fi] = append(b.stitches[fi], [2]int{i, j})
 					}
 				}
 			}
 		}
-	}
+	})
+}
 
-	// Conflict and color-friendly edges via a grid over fragment bounds.
-	world := l.Bounds().Expand(minS + hp + 1)
-	grid := spatial.NewGrid(world, minS+hp, len(frags))
-	for _, fr := range frags {
+// assembleFragments runs stage 2: deterministic fragment numbering in
+// feature order and stitch-edge insertion.
+func (b *builder) assembleFragments() {
+	total := 0
+	for _, ps := range b.pieces {
+		total += len(ps)
+	}
+	b.frags = make([]Fragment, 0, total)
+	b.fragsOfFeature = make([][]int, len(b.pieces))
+	for fi, ps := range b.pieces {
+		for _, p := range ps {
+			b.fragsOfFeature[fi] = append(b.fragsOfFeature[fi], len(b.frags))
+			b.frags = append(b.frags, Fragment{Feature: fi, Shape: p})
+		}
+	}
+	b.g = graph.New(len(b.frags))
+	b.stats = BuildStats{Features: len(b.l.Features), Fragments: len(b.frags)}
+	for fi, pairs := range b.stitches {
+		ids := b.fragsOfFeature[fi]
+		for _, pr := range pairs {
+			if b.g.AddStitch(ids[pr[0]], ids[pr[1]]) {
+				b.stats.StitchEdges++
+			}
+		}
+	}
+}
+
+// discoverEdges runs stage 3: conflict and color-friendly candidate
+// discovery over a shared fragment grid. Fragments are sorted into spatial
+// tile shards so each worker's chunk touches a coherent region of the grid;
+// every fragment records only neighbors with a larger index (owner-computes
+// dedup: the lower-indexed endpoint owns the pair), in the grid's
+// deterministic enumeration order.
+func (b *builder) discoverEdges(ctx context.Context) error {
+	n := len(b.frags)
+	b.confOf = make([][]int32, n)
+	b.friendOf = make([][]int32, n)
+	if n == 0 {
+		return nil
+	}
+	radius := b.minS + b.hp
+	world := b.l.Bounds().Expand(radius + 1)
+	grid := spatial.NewGrid(world, radius, n)
+	for _, fr := range b.frags {
 		grid.Insert(fr.Shape.Bounds())
 	}
-	minSq := int64(minS) * int64(minS)
-	friendOuter := int64(minS+hp) * int64(minS+hp)
-	for i := range frags {
-		grid.Near(frags[i].Shape.Bounds(), minS+hp, func(j int) {
-			if j <= i || frags[i].Feature == frags[j].Feature {
-				return
+
+	// Tile sharding: order fragment indices by the coarse tile containing
+	// their bounds center (ties by index). Workers then pull contiguous
+	// chunks of this order, so one chunk ≈ one spatial tile run.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if b.workers > 1 {
+		tile := make([]int32, n)
+		tileSize := 4 * radius
+		cols := world.Width()/tileSize + 1
+		for i, fr := range b.frags {
+			bb := fr.Shape.Bounds()
+			tx := ((bb.X0+bb.X1)/2 - world.X0) / tileSize
+			ty := ((bb.Y0+bb.Y1)/2 - world.Y0) / tileSize
+			tile[i] = int32(ty*cols + tx)
+		}
+		sort.Slice(order, func(a, c int) bool {
+			if tile[order[a]] != tile[order[c]] {
+				return tile[order[a]] < tile[order[c]]
 			}
-			d := geom.GapSqPoly(frags[i].Shape, frags[j].Shape)
-			switch {
-			case d <= minSq:
-				if g.AddConflict(i, j) {
-					st.ConflictEdges++
-				}
-			case d < friendOuter:
-				if g.AddFriend(i, j) {
-					st.FriendEdges++
-				}
-			}
+			return order[a] < order[c]
 		})
 	}
 
-	return &Graph{G: g, Fragments: frags, Stats: st, MinS: minS, HalfPitch: hp}, nil
+	minSq := int64(b.minS) * int64(b.minS)
+	friendOuter := int64(radius) * int64(radius)
+	if b.workers == 1 {
+		// Serial hot path: insert edges directly during the scan — the
+		// collect-then-replay detour exists only so parallel shards can
+		// write disjoint slices; with one worker the scan order IS the
+		// replay order, so skip the per-fragment adjacency staging.
+		b.confOf, b.friendOf = nil, nil
+		return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fi := b.frags[i]
+				grid.Near(fi.Shape.Bounds(), radius, func(j int) {
+					if j <= i || fi.Feature == b.frags[j].Feature {
+						return
+					}
+					d := geom.GapSqPoly(fi.Shape, b.frags[j].Shape)
+					switch {
+					case d <= minSq:
+						if b.g.AddConflict(i, j) {
+							b.stats.ConflictEdges++
+						}
+					case d < friendOuter:
+						if b.g.AddFriend(i, j) {
+							b.stats.FriendEdges++
+						}
+					}
+				})
+			}
+		})
+	}
+	queriers := sync.Pool{New: func() any { return grid.NewQuerier() }}
+	return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
+		q := queriers.Get().(*spatial.Querier)
+		defer queriers.Put(q)
+		for _, oi := range order[lo:hi] {
+			i := int(oi)
+			fi := b.frags[i]
+			q.Near(fi.Shape.Bounds(), radius, func(j int) {
+				if j <= i || fi.Feature == b.frags[j].Feature {
+					return
+				}
+				d := geom.GapSqPoly(fi.Shape, b.frags[j].Shape)
+				switch {
+				case d <= minSq:
+					b.confOf[i] = append(b.confOf[i], int32(j))
+				case d < friendOuter:
+					b.friendOf[i] = append(b.friendOf[i], int32(j))
+				}
+			})
+		}
+	})
+}
+
+// replayEdges runs stage 4: insert the discovered edges in ascending
+// fragment order, reproducing the exact call sequence — and hence adjacency
+// list ordering — of a serial i-ascending grid scan. A serial build
+// (workers == 1) inserted directly during the scan and has nothing staged.
+func (b *builder) replayEdges() {
+	if b.confOf == nil {
+		return
+	}
+	for i := range b.frags {
+		for _, j := range b.confOf[i] {
+			if b.g.AddConflict(i, int(j)) {
+				b.stats.ConflictEdges++
+			}
+		}
+		for _, j := range b.friendOf[i] {
+			if b.g.AddFriend(i, int(j)) {
+				b.stats.FriendEdges++
+			}
+		}
+	}
+	b.confOf, b.friendOf = nil, nil
 }
 
 // stitchSplitter implements projection-based stitch candidate generation
@@ -191,8 +506,9 @@ func newStitchSplitter(l *layout.Layout, minS, minSeg, maxCount int) *stitchSpli
 // wire features may be divided at stitch candidates; everything else stays
 // whole. (Stitches inside complex polygons exist in practice but the
 // paper's stitch model — one candidate per uncovered projection interval —
-// is defined on wires; see DESIGN.md §5.)
-func (s *stitchSplitter) split(fi int, f geom.Polygon) []geom.Polygon {
+// is defined on wires; see DESIGN.md §5.) Queries go through the caller's
+// Querier so shards can split concurrently over the shared grid.
+func (s *stitchSplitter) split(q *spatial.Querier, fi int, f geom.Polygon) []geom.Polygon {
 	if len(f.Rects) != 1 {
 		return []geom.Polygon{f}
 	}
@@ -211,7 +527,7 @@ func (s *stitchSplitter) split(fi int, f geom.Polygon) []geom.Polygon {
 	// the neighbor actually constrains the wire.
 	type iv struct{ lo, hi int }
 	var forbidden []iv
-	s.grid.Near(r, s.minS, func(id int) {
+	q.Near(r, s.minS, func(id int) {
 		if s.owner[id] == fi {
 			return
 		}

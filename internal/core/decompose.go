@@ -180,6 +180,12 @@ func Decompose(l *layout.Layout, opts Options) (*Result, error) {
 // layer can always answer with its best effort under a deadline.
 func DecomposeContext(ctx context.Context, l *layout.Layout, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	// The build deliberately ignores ctx: the degraded-result contract of
+	// this API promises a valid best-effort coloring even when ctx is
+	// already dead, and a half-built graph has no degraded form — an
+	// abort-and-rebuild would only ever add work. Parallelism still applies
+	// (opts.Build.Workers); callers that prefer abort-on-cancel semantics
+	// compose BuildGraphContext with DecomposeGraphContext themselves.
 	dg, err := BuildGraph(l, opts.Build)
 	if err != nil {
 		return nil, err

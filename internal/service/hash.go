@@ -37,17 +37,21 @@ func LayoutHash(l *layout.Layout) string {
 
 // resultKey keys the result cache: layout geometry plus every solve-affecting
 // option. Options are normalized first so default spellings ({} vs {K: 4})
-// share an entry, and Division.Workers is zeroed because worker count never
-// changes the (deterministic) result, only how fast it arrives.
+// share an entry, and the Division and Build worker counts are zeroed
+// because worker count never changes the (deterministic) result, only how
+// fast it arrives.
 func resultKey(layoutHash string, opts core.Options) string {
 	opts = opts.Normalize()
 	opts.Division.Workers = 0
+	opts.Build.Workers = 0
 	return layoutHash + "|" + fmt.Sprintf("%#v", opts)
 }
 
 // graphKey keys the decomposition-graph cache: layout geometry plus the
 // graph-construction options only, so algorithm sweeps over one layout
-// (cmd/evaluate's tables) build each graph once.
+// (cmd/evaluate's tables) build each graph once. Workers is zeroed — the
+// parallel build produces an identical graph at any worker count.
 func graphKey(layoutHash string, build core.BuildOptions) string {
+	build.Workers = 0
 	return layoutHash + "|" + fmt.Sprintf("%#v", build)
 }

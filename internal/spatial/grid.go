@@ -103,14 +103,24 @@ func (g *Grid) Bounds(id int) geom.Rect { return g.bounds[id] }
 // Near calls fn for every stored ID whose bounding box gap distance to the
 // query rectangle is at most radius (squared comparison, exact integer
 // arithmetic). Each ID is reported once per query; the query ID itself is
-// reported too if it matches, so callers filter self-pairs.
+// reported too if it matches, so callers filter self-pairs. Near mutates the
+// grid's visit stamps, so it is not safe for concurrent use — concurrent
+// readers use per-goroutine Queriers instead.
 func (g *Grid) Near(q geom.Rect, radius int, fn func(id int)) {
-	g.visit++
-	if g.visit == 0 { // stamp wrapped; reset
-		for i := range g.stamp {
-			g.stamp[i] = 0
+	g.near(g.stamp, &g.visit, q, radius, fn)
+}
+
+// near is the shared query kernel: the caller supplies the stamp array and
+// visit counter, so Grid.Near (grid-owned stamps) and Querier.Near
+// (per-goroutine stamps) enumerate identically — same bucket scan order,
+// same per-query deduplication — over the same immutable bucket structure.
+func (g *Grid) near(stamp []int32, visit *int32, q geom.Rect, radius int, fn func(id int)) {
+	*visit++
+	if *visit == 0 { // stamp wrapped; reset
+		for i := range stamp {
+			stamp[i] = 0
 		}
-		g.visit = 1
+		*visit = 1
 	}
 	rr := int64(radius) * int64(radius)
 	expanded := q.Expand(radius)
@@ -118,14 +128,39 @@ func (g *Grid) Near(q geom.Rect, radius int, fn func(id int)) {
 	for row := r0; row <= r1; row++ {
 		for col := c0; col <= c1; col++ {
 			for _, id := range g.buckets[row*g.cols+col] {
-				if g.stamp[id] == g.visit {
+				if stamp[id] == *visit {
 					continue
 				}
-				g.stamp[id] = g.visit
+				stamp[id] = *visit
 				if geom.GapSq(q, g.bounds[id]) <= rr {
 					fn(int(id))
 				}
 			}
 		}
 	}
+}
+
+// Querier is a read-only query cursor over a frozen Grid with its own
+// visit-stamp state, so multiple goroutines can run Near queries over one
+// shared grid concurrently (the parallel graph-construction shards of
+// internal/core). The grid must not receive further Inserts while queriers
+// exist: a querier's stamp array is sized at creation time.
+type Querier struct {
+	g     *Grid
+	stamp []int32
+	visit int32
+}
+
+// NewQuerier returns an independent query cursor over the grid's current
+// contents. Each goroutine gets its own; a single Querier is not safe for
+// concurrent use with itself.
+func (g *Grid) NewQuerier() *Querier {
+	return &Querier{g: g, stamp: make([]int32, len(g.bounds))}
+}
+
+// Near is Grid.Near using this cursor's private stamps: identical
+// enumeration order and semantics, safe to run concurrently with other
+// Queriers over the same grid.
+func (q *Querier) Near(r geom.Rect, radius int, fn func(id int)) {
+	q.g.near(q.stamp, &q.visit, r, radius, fn)
 }

@@ -42,11 +42,21 @@
 //	defer cancel()
 //	res, err := mpl.DecomposeContext(ctx, l, mpl.Options{K: 4})
 //
+// # Parallel graph construction
+//
+// Graph construction shards the layout into spatial tiles and builds stitch
+// fragments and conflict/friend edges on a bounded worker pool
+// (BuildOptions.Workers); a deterministic merge makes the resulting graph
+// identical to a serial build at any worker count, so Workers is purely a
+// wall-clock knob (DESIGN.md §3). Per-stage timings are reported in
+// BuildStats.Timing, and BuildGraphContext cancels cooperatively.
+//
 // # Serving
 //
 // The qpld command's serve subcommand exposes decomposition as an HTTP
 // JSON API backed by a layout-hash keyed LRU result cache and a
-// bounded-concurrency batch runner (internal/service); see the README.
+// bounded-concurrency batch runner (internal/service); see the README and
+// docs/API.md.
 package mpl
 
 import (
@@ -77,8 +87,14 @@ type (
 type (
 	// Options configures a decomposition; see core.Options for all knobs.
 	Options = core.Options
-	// BuildOptions configures decomposition-graph construction.
+	// BuildOptions configures decomposition-graph construction, including
+	// BuildOptions.Workers, the parallel-build shard count.
 	BuildOptions = core.BuildOptions
+	// BuildStats summarizes a constructed decomposition graph, including
+	// per-stage build timing.
+	BuildStats = core.BuildStats
+	// BuildTiming is the per-stage wall clock of one graph build.
+	BuildTiming = core.BuildTiming
 	// Result is a completed decomposition with per-fragment mask colors.
 	Result = core.Result
 	// Algorithm selects the color-assignment engine.
@@ -133,9 +149,18 @@ func DecomposeGraphContext(ctx context.Context, g *DecompGraph, opts Options) (*
 }
 
 // BuildGraph constructs only the decomposition graph, for callers that want
-// to inspect it or run several engines over the same graph.
+// to inspect it or run several engines over the same graph. Set
+// BuildOptions.Workers to shard construction across goroutines — the graph
+// is identical at any worker count (see DESIGN.md §3).
 func BuildGraph(l *Layout, opts BuildOptions) (*DecompGraph, error) {
 	return core.BuildGraph(l, opts)
+}
+
+// BuildGraphContext is BuildGraph with cooperative cancellation. Unlike
+// DecomposeContext, which degrades rather than fails, a cancelled build
+// returns a wrapped ctx error: a half-built graph has no degraded form.
+func BuildGraphContext(ctx context.Context, l *Layout, opts BuildOptions) (*DecompGraph, error) {
+	return core.BuildGraphContext(ctx, l, opts)
 }
 
 // DecomposeGraph colors an already-built decomposition graph.
