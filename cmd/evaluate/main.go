@@ -6,6 +6,7 @@
 //	evaluate -ablation division   # GH-tree / peeling / biconnected on-off sweep
 //	evaluate -ablation threshold  # Algorithm 1 t_th sweep
 //	evaluate -json auto           # record a BENCH_<timestamp>.json trajectory entry
+//	evaluate -json auto -edits 8  # …additionally replay ECO edit batches per circuit
 //
 // Per circuit and algorithm it prints the conflict number (cn#), stitch
 // number (st#) and color-assignment CPU seconds (the solver stage of the
@@ -17,6 +18,15 @@
 // times are uncontended) and writes per-stage graph-construction, division
 // and solver timings plus cn#/st# to a benchmark-trajectory file; see
 // EXPERIMENTS.md for how the recorded series is used.
+//
+// The -edits replay (with -json) generates deterministic random edit
+// batches per circuit and, for each batch, times the incremental
+// ApplyEdits path against a full from-scratch re-decomposition of the same
+// post-edit layout, failing hard if the two disagree on conflicts or
+// stitches — so every recorded speedup doubles as an equivalence check.
+// -laydir reads circuits from committed .lay snapshots (benchmarks/)
+// instead of synthesizing them, pinning replays to the exact bytes the
+// golden regression test covers.
 package main
 
 import (
@@ -24,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -35,6 +47,13 @@ import (
 	"mpl/internal/report"
 	"mpl/internal/service"
 )
+
+// loadLayout resolves a circuit name to a layout: synthesized at -scale by
+// default, read from -laydir (committed .lay snapshots, where -scale does
+// not apply) when set. main rebinds it once flags are parsed.
+var loadLayout = func(name string, scale float64) (*mpl.Layout, error) {
+	return mpl.GenerateBenchmark(name, scale)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -51,8 +70,16 @@ func main() {
 	ablation := flag.String("ablation", "", "run an ablation instead of a table: division, threshold")
 	jsonOut := flag.String("json", "", "write a benchmark-trajectory JSON instead of a table: a path, or 'auto' for BENCH_<timestamp>.json")
 	jsonLabel := flag.String("json-label", "trajectory", "label stored in the -json record")
+	edits := flag.Int("edits", 0, "with -json: replay this many random ECO edit batches per circuit with the first -algs engine, recording incremental vs from-scratch latency")
+	laydir := flag.String("laydir", "", "read circuits from <dir>/<name>.lay instead of synthesizing them (-scale does not apply)")
 	flag.Parse()
 
+	if *laydir != "" {
+		dir := *laydir
+		loadLayout = func(name string, _ float64) (*mpl.Layout, error) {
+			return mpl.ReadLayout(filepath.Join(dir, name+".lay"))
+		}
+	}
 	names := circuitList(*circuits, *k)
 	if *jsonOut != "" {
 		if *ablation != "" {
@@ -64,8 +91,11 @@ func main() {
 			// -json already guarantees, so it passes.)
 			log.Fatal("-json runs circuits strictly sequentially; -batch-workers > 1 does not apply")
 		}
-		runJSON(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *jsonOut, *jsonLabel)
+		runJSON(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *edits, *jsonOut, *jsonLabel)
 		return
+	}
+	if *edits > 0 {
+		log.Fatal("-edits requires -json (the replay is a trajectory recording)")
 	}
 	switch *ablation {
 	case "":
@@ -102,7 +132,7 @@ func circuitList(flagVal string, k int) []string {
 func buildGraphs(names []string, k int, scale float64, buildWorkers int) map[string]*mpl.DecompGraph {
 	out := make(map[string]*mpl.DecompGraph, len(names))
 	for _, name := range names {
-		l, err := mpl.GenerateBenchmark(name, scale)
+		l, err := loadLayout(name, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -163,7 +193,7 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 	})
 	reqs := make([]service.Request, 0, len(names)*len(algs))
 	for _, name := range names {
-		l, err := mpl.GenerateBenchmark(name, scale)
+		l, err := loadLayout(name, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -256,13 +286,17 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 
 // runJSON records one benchmark-trajectory entry (internal/benchrec): per
 // circuit, a timed graph build plus every requested engine, run strictly
-// sequentially so wall times do not contend with each other.
-func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers int, outPath, label string) {
+// sequentially so wall times do not contend with each other. With edits > 0
+// each circuit additionally replays that many ECO batches (first engine).
+func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers, edits int, outPath, label string) {
 	start := time.Now()
 	if outPath == "auto" {
 		outPath = benchrec.DefaultFilename(start)
 	}
 	algs := algList(algsFlag, k)
+	if edits > 0 && algs[0] == mpl.ILP {
+		log.Fatal("-edits replay needs a deterministic engine first in -algs (its equivalence check cannot cover the wall-clock-budgeted ILP)")
+	}
 	run := &benchrec.Run{
 		Timestamp:    start.UTC().Format(time.RFC3339),
 		Label:        label,
@@ -277,7 +311,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		ILPBudgetMs:  float64(ilpBudget.Milliseconds()),
 	}
 	for _, name := range names {
-		l, err := mpl.GenerateBenchmark(name, scale)
+		l, err := loadLayout(name, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -286,6 +320,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 			log.Fatal(err)
 		}
 		c := benchrec.CircuitOf(name, g.Stats)
+		var first *mpl.Result
 		for _, a := range algs {
 			res, err := mpl.DecomposeGraph(g, mpl.Options{
 				K:            k,
@@ -297,7 +332,27 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 			if err != nil {
 				log.Fatalf("%s/%v: %v", name, a, err)
 			}
+			if first == nil {
+				first = res
+			}
 			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(a.String(), res))
+		}
+		if edits > 0 {
+			opts := mpl.Options{
+				K:            k,
+				Algorithm:    algs[0],
+				Seed:         seed,
+				ILPTimeLimit: ilpBudget,
+				Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
+				Division:     division.Options{Workers: workers},
+			}
+			er, err := runEditReplay(name, l, first, opts, edits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.EditReplay = er
+			fmt.Fprintf(os.Stderr, "  edits %s: %d batches, incremental %.2fms vs full %.2fms (%.1f×)\n",
+				name, len(er.Batches), er.MeanIncrementalMs, er.MeanFullMs, er.Speedup)
 		}
 		run.Circuits = append(run.Circuits, c)
 		fmt.Fprintf(os.Stderr, "done %s (build %.1fms, %d fragments)\n", name, c.BuildMs, c.Fragments)
@@ -307,6 +362,83 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 	}
 	fmt.Printf("wrote %s (%d circuits, %d engines, total %.1fs)\n",
 		outPath, len(run.Circuits), len(algs), time.Since(start).Seconds())
+}
+
+// runEditReplay chains deterministic random edit batches over one circuit,
+// timing the incremental ApplyEdits path against a full from-scratch
+// re-decomposition of the identical post-edit layout, and fails hard if the
+// two disagree — the recorded speedups double as equivalence evidence.
+func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Options, batches int) (*benchrec.EditReplay, error) {
+	er := &benchrec.EditReplay{Algorithm: opts.Algorithm.String()}
+	rng := rand.New(rand.NewSource(int64(len(name)*7919) + int64(name[0])))
+	curL, curRes := l, start
+	for b := 0; b < batches; b++ {
+		edits := replayBatch(rng, curL)
+		t0 := time.Now()
+		newL, incRes, es, err := mpl.ApplyEdits(curL, curRes, edits, opts)
+		incMs := benchrec.Ms(time.Since(t0))
+		if err != nil {
+			return nil, fmt.Errorf("%s batch %d: %w", name, b, err)
+		}
+		t1 := time.Now()
+		fullRes, err := mpl.Decompose(newL, opts)
+		fullMs := benchrec.Ms(time.Since(t1))
+		if err != nil {
+			return nil, fmt.Errorf("%s batch %d (from scratch): %w", name, b, err)
+		}
+		if incRes.Conflicts != fullRes.Conflicts || incRes.Stitches != fullRes.Stitches {
+			return nil, fmt.Errorf("%s batch %d: EQUIVALENCE VIOLATION — incremental %d/%d, from-scratch %d/%d",
+				name, b, incRes.Conflicts, incRes.Stitches, fullRes.Conflicts, fullRes.Stitches)
+		}
+		er.Batches = append(er.Batches, benchrec.EditBatch{
+			Ops:                len(edits),
+			IncrementalMs:      incMs,
+			FullMs:             fullMs,
+			RebuiltFragments:   es.RebuiltFragments,
+			ResolvedComponents: es.ResolvedComponents,
+			CopiedComponents:   es.CopiedComponents,
+		})
+		curL, curRes = newL, incRes
+	}
+	er.Summarize()
+	return er, nil
+}
+
+// replayBatch generates 1–3 ECO-shaped ops: nudge a feature by up to a site
+// pitch, drop one, or add a contact inside the die.
+func replayBatch(rng *rand.Rand, l *mpl.Layout) []mpl.Edit {
+	b := l.Bounds()
+	w, h := b.Width(), b.Height()
+	if w < 100 {
+		w = 100
+	}
+	if h < 100 {
+		h = 100
+	}
+	cnt := len(l.Features)
+	n := 1 + rng.Intn(3)
+	var edits []mpl.Edit
+	for i := 0; i < n; i++ {
+		op := rng.Intn(3)
+		if cnt == 0 {
+			op = 0
+		}
+		switch op {
+		case 0:
+			x, y := b.X0+rng.Intn(w), b.Y0+rng.Intn(h)
+			edits = append(edits, mpl.Edit{Op: mpl.EditAdd, Shape: mpl.NewPolygon(mpl.Rect{X0: x, Y0: y, X1: x + 20, Y1: y + 20})})
+			cnt++
+		case 1:
+			edits = append(edits, mpl.Edit{Op: mpl.EditRemove, Feature: rng.Intn(cnt)})
+			cnt--
+		default:
+			edits = append(edits, mpl.Edit{
+				Op: mpl.EditMove, Feature: rng.Intn(cnt),
+				DX: (rng.Intn(7) - 3) * 20, DY: (rng.Intn(7) - 3) * 20,
+			})
+		}
+	}
+	return edits
 }
 
 // runThresholdAblation sweeps Algorithm 1's merge threshold t_th.

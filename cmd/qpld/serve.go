@@ -7,10 +7,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/decompose        decompose one layout
-//	POST /v1/decompose/batch  decompose many layouts concurrently
-//	GET  /v1/stats            cache and concurrency statistics
-//	GET  /healthz             liveness probe
+//	POST /v1/decompose              decompose one layout (opens a session)
+//	POST /v1/decompose/batch        decompose many layouts concurrently
+//	POST /v1/decompose/incremental  advance a session by an ECO edit batch
+//	GET  /v1/stats                  cache and concurrency statistics
+//	GET  /healthz                   liveness probe
+//
+// Every decompose response carries the layout_hash of the geometry it
+// colored; passing that hash as "base" to the incremental endpoint applies
+// add/remove/move edits and re-solves only the dirty region
+// (core.ApplyEdits), returning a new layout_hash for further batches.
 //
 // The full request/response schema, error codes, and cache semantics are
 // documented in docs/API.md.
@@ -66,18 +72,61 @@ type decomposeRequest struct {
 }
 
 type decomposeResponse struct {
-	Name      string       `json:"name,omitempty"`
-	K         int          `json:"k"`
-	Algorithm string       `json:"algorithm"`
-	Fragments int          `json:"fragments"`
-	Conflicts int          `json:"conflicts"`
-	Stitches  int          `json:"stitches"`
-	Proven    bool         `json:"proven"`
-	Degraded  int          `json:"degraded"`
-	Cached    bool         `json:"cached"`
-	ElapsedMs float64      `json:"elapsed_ms"`
-	Masks     [][]rectJSON `json:"masks,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	Name      string  `json:"name,omitempty"`
+	K         int     `json:"k"`
+	Algorithm string  `json:"algorithm"`
+	Fragments int     `json:"fragments"`
+	Conflicts int     `json:"conflicts"`
+	Stitches  int     `json:"stitches"`
+	Proven    bool    `json:"proven"`
+	Degraded  int     `json:"degraded"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// LayoutHash identifies the decomposed geometry; it is the session key
+	// for POST /v1/decompose/incremental.
+	LayoutHash  string           `json:"layout_hash,omitempty"`
+	Incremental *incrementalJSON `json:"incremental,omitempty"`
+	Masks       [][]rectJSON     `json:"masks,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// editJSON is the wire form of one ECO operation.
+type editJSON struct {
+	Op      string     `json:"op"` // "add", "remove", "move"
+	Feature int        `json:"feature,omitempty"`
+	Rects   []rectJSON `json:"rects,omitempty"` // added feature geometry
+	DX      int        `json:"dx,omitempty"`
+	DY      int        `json:"dy,omitempty"`
+}
+
+// incrementalRequest is the body of POST /v1/decompose/incremental. The
+// option fields must repeat the ones the base session was solved with —
+// sessions are keyed by (geometry, options).
+type incrementalRequest struct {
+	Name         string     `json:"name,omitempty"`
+	Base         string     `json:"base"` // layout_hash of the session to edit
+	Edits        []editJSON `json:"edits"`
+	K            int        `json:"k,omitempty"`
+	Algorithm    string     `json:"algorithm,omitempty"`
+	Alpha        float64    `json:"alpha,omitempty"`
+	Seed         int64      `json:"seed,omitempty"`
+	Workers      int        `json:"workers,omitempty"`
+	BuildWorkers int        `json:"build_workers,omitempty"`
+	TimeoutMs    int64      `json:"timeout_ms,omitempty"`
+	IncludeMasks bool       `json:"include_masks,omitempty"`
+}
+
+// incrementalJSON reports what the dirty-region rebuild reused (absent on
+// cache hits — a cached answer did no incremental work).
+type incrementalJSON struct {
+	RebuiltFeatures    int     `json:"rebuilt_features"`
+	ReusedFragments    int     `json:"reused_fragments"`
+	RebuiltFragments   int     `json:"rebuilt_fragments"`
+	Components         int     `json:"components"`
+	ResolvedComponents int     `json:"resolved_components"`
+	CopiedComponents   int     `json:"copied_components"`
+	BuildMs            float64 `json:"build_ms"`
+	SolveMs            float64 `json:"solve_ms"`
 }
 
 type batchRequest struct {
@@ -127,6 +176,7 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("POST /v1/decompose", s.handleDecompose)
 	m.HandleFunc("POST /v1/decompose/batch", s.handleBatch)
+	m.HandleFunc("POST /v1/decompose/incremental", s.handleIncremental)
 	m.HandleFunc("GET /v1/stats", s.handleStats)
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -193,88 +243,198 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // must be a 400, not an allocation storm.
 const maxK = 16
 
-// decomposeOne converts one wire request into a service call.
-func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decomposeResponse, error) {
-	if req.K < 0 || req.K > maxK {
-		return decomposeResponse{}, fmt.Errorf("k must be in [2, %d] (or 0 for the default 4), got %d", maxK, req.K)
+// resolveOptions validates and clamps the shared option fields of full and
+// incremental requests into a core.Options. Workers values are performance
+// knobs, not semantic ones (results are identical at any value), so they
+// are clamped rather than rejected — one request cannot demand an arbitrary
+// goroutine count. Graph construction likewise: build_workers defaults to
+// the server's -build-workers and is capped by it. Note the bound is per
+// request — aggregate build goroutines can reach -workers × -build-workers
+// when every in-flight request is in its build stage (builds are short
+// relative to solves, so sustained overlap is rare); operators running high
+// request concurrency on narrow machines should lower -build-workers (see
+// docs/API.md).
+func (s *server) resolveOptions(k int, algName string, alpha float64, seed int64, workers, buildWorkers int) (core.Options, error) {
+	if k < 0 || k > maxK {
+		return core.Options{}, fmt.Errorf("k must be in [2, %d] (or 0 for the default 4), got %d", maxK, k)
 	}
-	workers := req.Workers
 	if workers < 0 {
 		workers = 0
 	}
-	// Workers is a performance knob, not a semantic one (results are
-	// identical at any value); clamp rather than reject so one request
-	// cannot demand an arbitrary goroutine count.
 	if limit := runtime.GOMAXPROCS(0); workers > limit {
 		workers = limit
 	}
-	// Graph construction likewise: build_workers defaults to the server's
-	// -build-workers and is capped by it. Note the bound is per request —
-	// aggregate build goroutines can reach -workers × -build-workers when
-	// every in-flight request is in its build stage (builds are short
-	// relative to solves, so sustained overlap is rare); operators running
-	// high request concurrency on narrow machines should lower
-	// -build-workers (see docs/API.md).
-	buildWorkers := req.BuildWorkers
 	if buildWorkers <= 0 || buildWorkers > s.buildWorkers {
 		buildWorkers = s.buildWorkers
 	}
-	l, err := layoutFromJSON(req.Layout)
-	if err != nil {
-		return decomposeResponse{}, err
-	}
-	algName := req.Algorithm
 	if algName == "" {
 		algName = "sdp-backtrack"
 	}
 	alg, err := mpl.ParseAlgorithm(algName)
 	if err != nil {
-		return decomposeResponse{}, err
+		return core.Options{}, err
 	}
-	opts := core.Options{
-		K:         req.K,
+	return core.Options{
+		K:         k,
 		Algorithm: alg,
-		Alpha:     req.Alpha,
-		Seed:      req.Seed,
+		Alpha:     alpha,
+		Seed:      seed,
 		Build:     core.BuildOptions{Workers: buildWorkers},
 		Division:  division.Options{Workers: workers},
-	}
+	}, nil
+}
 
+// requestCtx applies the effective deadline: the client's timeout_ms capped
+// by the server's -timeout. The client deadline is honored even when the
+// server cap is disabled (-timeout 0); the cap only ever shortens it.
+func (s *server) requestCtx(ctx context.Context, timeoutMs int64) (context.Context, context.CancelFunc) {
 	timeout := s.maxTimeout
-	if req.TimeoutMs > 0 {
-		// Honor the client's deadline even when the server cap is disabled
-		// (-timeout 0); the cap only ever shortens it.
-		if t := time.Duration(req.TimeoutMs) * time.Millisecond; timeout <= 0 || t < timeout {
+	if timeoutMs > 0 {
+		if t := time.Duration(timeoutMs) * time.Millisecond; timeout <= 0 || t < timeout {
 			timeout = t
 		}
 	}
 	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+		return context.WithTimeout(ctx, timeout)
 	}
+	return ctx, func() {}
+}
+
+// decomposeOne converts one wire request into a service call.
+func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decomposeResponse, error) {
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	if err != nil {
+		return decomposeResponse{}, err
+	}
+	l, err := layoutFromJSON(req.Layout)
+	if err != nil {
+		return decomposeResponse{}, err
+	}
+	ctx, cancel := s.requestCtx(ctx, req.TimeoutMs)
+	defer cancel()
 
 	t0 := time.Now()
-	res, cached, err := s.svc.Decompose(ctx, l, opts)
+	res, lh, cached, err := s.svc.DecomposeHashed(ctx, l, opts)
 	if err != nil {
 		return decomposeResponse{}, err
 	}
 	resp := decomposeResponse{
-		Name:      req.Name,
-		K:         res.K,
-		Algorithm: alg.String(),
-		Fragments: len(res.Graph.Fragments),
-		Conflicts: res.Conflicts,
-		Stitches:  res.Stitches,
-		Proven:    res.Proven,
-		Degraded:  res.Degraded,
-		Cached:    cached,
-		ElapsedMs: float64(time.Since(t0).Microseconds()) / 1000,
+		Name:       req.Name,
+		K:          res.K,
+		Algorithm:  opts.Algorithm.String(),
+		Fragments:  len(res.Graph.Fragments),
+		Conflicts:  res.Conflicts,
+		Stitches:   res.Stitches,
+		Proven:     res.Proven,
+		Degraded:   res.Degraded,
+		Cached:     cached,
+		ElapsedMs:  float64(time.Since(t0).Microseconds()) / 1000,
+		LayoutHash: lh,
 	}
 	if req.IncludeMasks {
 		resp.Masks = masksToJSON(res)
 	}
 	return resp, nil
+}
+
+// handleIncremental advances a session by an edit batch. An unknown base
+// hash is 404 — the canonical client reaction is to re-send the full
+// layout via /v1/decompose, which (re)opens the session.
+func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
+	var req incrementalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Base == "" {
+		httpError(w, http.StatusBadRequest, "base layout hash is required")
+		return
+	}
+	if len(req.Edits) == 0 {
+		httpError(w, http.StatusBadRequest, "empty edit batch")
+		return
+	}
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	edits, err := editsFromJSON(req.Edits)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.TimeoutMs)
+	defer cancel()
+
+	t0 := time.Now()
+	res, newHash, estats, cached, err := s.svc.DecomposeIncremental(ctx, req.Base, edits, opts)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, service.ErrNoSession):
+			code = http.StatusNotFound
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	resp := decomposeResponse{
+		Name:       req.Name,
+		K:          res.K,
+		Algorithm:  opts.Algorithm.String(),
+		Fragments:  len(res.Graph.Fragments),
+		Conflicts:  res.Conflicts,
+		Stitches:   res.Stitches,
+		Proven:     res.Proven,
+		Degraded:   res.Degraded,
+		Cached:     cached,
+		ElapsedMs:  float64(time.Since(t0).Microseconds()) / 1000,
+		LayoutHash: newHash,
+	}
+	if estats != nil {
+		resp.Incremental = &incrementalJSON{
+			RebuiltFeatures:    estats.RebuiltFeatures,
+			ReusedFragments:    estats.ReusedFragments,
+			RebuiltFragments:   estats.RebuiltFragments,
+			Components:         estats.Components,
+			ResolvedComponents: estats.ResolvedComponents,
+			CopiedComponents:   estats.CopiedComponents,
+			BuildMs:            float64(estats.BuildTime.Microseconds()) / 1000,
+			SolveMs:            float64(estats.SolveTime.Microseconds()) / 1000,
+		}
+	}
+	if req.IncludeMasks {
+		resp.Masks = masksToJSON(res)
+	}
+	writeJSON(w, resp)
+}
+
+// editsFromJSON converts wire edits to core.Edit ops.
+func editsFromJSON(in []editJSON) ([]core.Edit, error) {
+	out := make([]core.Edit, 0, len(in))
+	for i, e := range in {
+		switch e.Op {
+		case "add":
+			var pg geom.Polygon
+			for _, r := range e.Rects {
+				rc := geom.Rect{X0: r[0], Y0: r[1], X1: r[2], Y1: r[3]}
+				if !rc.Valid() {
+					return nil, fmt.Errorf("edit %d: invalid rect %v", i, rc)
+				}
+				pg.Rects = append(pg.Rects, rc)
+			}
+			out = append(out, core.Edit{Op: core.EditAdd, Shape: pg})
+		case "remove":
+			out = append(out, core.Edit{Op: core.EditRemove, Feature: e.Feature})
+		case "move":
+			out = append(out, core.Edit{Op: core.EditMove, Feature: e.Feature, DX: e.DX, DY: e.DY})
+		default:
+			return nil, fmt.Errorf("edit %d: unknown op %q (want add, remove or move)", i, e.Op)
+		}
+	}
+	return out, nil
 }
 
 func layoutFromJSON(lj layoutJSON) (*layout.Layout, error) {
@@ -323,11 +483,13 @@ func masksToJSON(res *core.Result) [][]rectJSON {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.StatsSnapshot()
 	writeJSON(w, map[string]any{
-		"cache_hits":      st.Hits,
-		"cache_misses":    st.Misses,
-		"cache_evictions": st.Evictions,
-		"cache_size":      st.Size,
-		"graph_hits":      st.GraphHits,
+		"cache_hits":         st.Hits,
+		"cache_misses":       st.Misses,
+		"cache_evictions":    st.Evictions,
+		"cache_size":         st.Size,
+		"graph_hits":         st.GraphHits,
+		"incremental_solves": st.Incremental,
+		"sessions":           st.Sessions,
 	})
 }
 

@@ -231,3 +231,90 @@ func TestServeClientTimeoutHonoredWithoutServerCap(t *testing.T) {
 		t.Fatalf("took %v; client deadline was dropped", elapsed)
 	}
 }
+
+func TestServeIncremental(t *testing.T) {
+	ts := testServer(t)
+
+	// Open a session with a full decompose.
+	var full decomposeResponse
+	resp := postJSON(t, ts.URL+"/v1/decompose", rowRequest("row", 8), &full)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if full.LayoutHash == "" {
+		t.Fatal("decompose response carries no layout_hash; incremental requests have no base")
+	}
+
+	// Advance it: remove the last rect of the row.
+	inc := incrementalRequest{
+		Base: full.LayoutHash, K: 4, Algorithm: "sdp-backtrack",
+		Edits: []editJSON{{Op: "remove", Feature: 7}},
+	}
+	var out decomposeResponse
+	resp = postJSON(t, ts.URL+"/v1/decompose/incremental", inc, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	if out.LayoutHash == "" || out.LayoutHash == full.LayoutHash {
+		t.Fatalf("incremental response hash %q must identify the post-edit state", out.LayoutHash)
+	}
+	if out.Incremental == nil || out.Incremental.Components == 0 {
+		t.Fatalf("fresh incremental solve must report reuse stats: %+v", out)
+	}
+	if out.Fragments != full.Fragments-1 {
+		t.Fatalf("fragments = %d, want %d", out.Fragments, full.Fragments-1)
+	}
+
+	// The same post-edit geometry requested as a full layout must agree —
+	// and be served from the cache entry the incremental solve created.
+	ref := rowRequest("ref", 7)
+	var refOut decomposeResponse
+	postJSON(t, ts.URL+"/v1/decompose", ref, &refOut)
+	if !refOut.Cached {
+		t.Fatal("full request for the post-edit geometry must hit the incremental cache entry")
+	}
+	if refOut.Conflicts != out.Conflicts || refOut.Stitches != out.Stitches {
+		t.Fatalf("incremental %d/%d != full %d/%d", out.Conflicts, out.Stitches, refOut.Conflicts, refOut.Stitches)
+	}
+
+	// Chain a second batch from the new state.
+	inc2 := incrementalRequest{
+		Base: out.LayoutHash, K: 4, Algorithm: "sdp-backtrack",
+		Edits: []editJSON{{Op: "add", Rects: []rectJSON{{1000, 0, 1020, 200}}}},
+	}
+	var out2 decomposeResponse
+	resp = postJSON(t, ts.URL+"/v1/decompose/incremental", inc2, &out2)
+	// The added wire may itself be stitch-split, so expect at least one
+	// extra fragment rather than exactly one.
+	if resp.StatusCode != http.StatusOK || out2.Fragments <= out.Fragments {
+		t.Fatalf("chained batch: status %d, %+v", resp.StatusCode, out2)
+	}
+}
+
+func TestServeIncrementalErrors(t *testing.T) {
+	ts := testServer(t)
+	var full decomposeResponse
+	postJSON(t, ts.URL+"/v1/decompose", rowRequest("row", 4), &full)
+
+	cases := []struct {
+		name string
+		req  incrementalRequest
+		code int
+	}{
+		{"unknown base", incrementalRequest{Base: "no-such-hash", K: 4, Edits: []editJSON{{Op: "remove"}}}, http.StatusNotFound},
+		{"missing base", incrementalRequest{K: 4, Edits: []editJSON{{Op: "remove"}}}, http.StatusBadRequest},
+		{"empty batch", incrementalRequest{Base: full.LayoutHash, K: 4}, http.StatusBadRequest},
+		{"bad op", incrementalRequest{Base: full.LayoutHash, K: 4, Edits: []editJSON{{Op: "teleport"}}}, http.StatusBadRequest},
+		{"bad rect", incrementalRequest{Base: full.LayoutHash, K: 4, Edits: []editJSON{{Op: "add", Rects: []rectJSON{{5, 5, 0, 0}}}}}, http.StatusBadRequest},
+		{"bad index", incrementalRequest{Base: full.LayoutHash, K: 4, Edits: []editJSON{{Op: "remove", Feature: 99}}}, http.StatusBadRequest},
+		// Sessions are keyed by (geometry, options): other options → 404.
+		{"other options", incrementalRequest{Base: full.LayoutHash, K: 4, Algorithm: "linear", Edits: []editJSON{{Op: "remove"}}}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var out decomposeResponse
+		resp := postJSON(t, ts.URL+"/v1/decompose/incremental", tc.req, &out)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%+v)", tc.name, resp.StatusCode, tc.code, out)
+		}
+	}
+}

@@ -56,6 +56,53 @@ type Circuit struct {
 	MergeMs       float64 `json:"merge_ms"`
 
 	Algorithms []AlgorithmRun `json:"algorithms"`
+
+	// EditReplay records the ECO replay of `cmd/evaluate -edits`: per edit
+	// batch, the incremental (ApplyEdits) latency next to a full
+	// from-scratch re-decomposition of the same post-edit layout.
+	EditReplay *EditReplay `json:"edit_replay,omitempty"`
+}
+
+// EditBatch is one replayed edit batch. IncrementalMs covers the dirty
+// region rebuild plus the dirty-component re-solve; FullMs covers a
+// complete build + division + solve of the identical post-edit layout —
+// the cost an ECO would pay without the incremental path.
+type EditBatch struct {
+	Ops                int     `json:"ops"`
+	IncrementalMs      float64 `json:"incremental_ms"`
+	FullMs             float64 `json:"full_ms"`
+	RebuiltFragments   int     `json:"rebuilt_fragments"`
+	ResolvedComponents int     `json:"resolved_components"`
+	CopiedComponents   int     `json:"copied_components"`
+}
+
+// EditReplay is one circuit's replay series. The replay engine must be
+// deterministic (not ILP), because every batch is equivalence-checked
+// against the from-scratch run it is timed against.
+type EditReplay struct {
+	Algorithm         string      `json:"algorithm"`
+	Batches           []EditBatch `json:"batches"`
+	MeanIncrementalMs float64     `json:"mean_incremental_ms"`
+	MeanFullMs        float64     `json:"mean_full_ms"`
+	// Speedup is MeanFullMs / MeanIncrementalMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// Summarize fills the aggregate fields from Batches.
+func (er *EditReplay) Summarize() {
+	if len(er.Batches) == 0 {
+		return
+	}
+	var inc, full float64
+	for _, b := range er.Batches {
+		inc += b.IncrementalMs
+		full += b.FullMs
+	}
+	er.MeanIncrementalMs = inc / float64(len(er.Batches))
+	er.MeanFullMs = full / float64(len(er.Batches))
+	if inc > 0 {
+		er.Speedup = full / inc
+	}
 }
 
 // AlgorithmRun is one engine's result on one circuit: the cn#/st# columns

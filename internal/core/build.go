@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -165,8 +166,8 @@ func BuildGraphContext(ctx context.Context, l *layout.Layout, opts BuildOptions)
 	// Stage 3 (parallel over tile shards): conflict and color-friendly edge
 	// discovery via a shared read-only grid over fragment bounds. Each
 	// fragment i is owned by exactly one shard, which records its neighbors
-	// j > i — the cross-tile deduplication rule: a pair found from both
-	// sides is emitted only by its lower-indexed owner.
+	// j > i in ascending order — the cross-tile deduplication rule: a pair
+	// found from both sides is emitted only by its lower-indexed owner.
 	tEdges := time.Now()
 	if err := b.discoverEdges(ctx); err != nil {
 		return nil, err
@@ -174,9 +175,12 @@ func BuildGraphContext(ctx context.Context, l *layout.Layout, opts BuildOptions)
 	timing.Edges = time.Since(tEdges)
 
 	// Stage 4 (serial merge): replay per-fragment adjacency in ascending
-	// fragment order. This reproduces the exact AddConflict/AddFriend call
-	// sequence of a serial scan, so adjacency lists are byte-identical at
-	// any worker count.
+	// (i, j) order. Together with the per-fragment neighbor sort this makes
+	// every adjacency list sorted ascending — the graph is a pure function
+	// of the edge *set*, independent of grid geometry, scan order, and
+	// worker count. Incremental rebuilds (ApplyEdits) rely on exactly this:
+	// they splice cached adjacency into freshly discovered edges and must
+	// land on the same canonical form as a from-scratch build.
 	tMerge = time.Now()
 	b.replayEdges()
 	timing.Merge += time.Since(tMerge)
@@ -356,12 +360,11 @@ func (b *builder) assembleFragments() {
 // discovery over a shared fragment grid. Fragments are sorted into spatial
 // tile shards so each worker's chunk touches a coherent region of the grid;
 // every fragment records only neighbors with a larger index (owner-computes
-// dedup: the lower-indexed endpoint owns the pair), in the grid's
-// deterministic enumeration order.
+// dedup: the lower-indexed endpoint owns the pair), sorted ascending so the
+// final adjacency is canonical — a pure function of the edge set rather
+// than of the grid's bucket enumeration order.
 func (b *builder) discoverEdges(ctx context.Context) error {
 	n := len(b.frags)
-	b.confOf = make([][]int32, n)
-	b.friendOf = make([][]int32, n)
 	if n == 0 {
 		return nil
 	}
@@ -372,14 +375,19 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 		grid.Insert(fr.Shape.Bounds())
 	}
 
-	// Tile sharding: order fragment indices by the coarse tile containing
-	// their bounds center (ties by index). Workers then pull contiguous
-	// chunks of this order, so one chunk ≈ one spatial tile run.
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
+	// Tile sharding (parallel builds only): order fragment indices by the
+	// coarse tile containing their bounds center (ties by index). Workers
+	// then pull contiguous chunks of this order, so one chunk ≈ one
+	// spatial tile run. The serial path scans in index order and inserts
+	// directly, so it allocates neither the order nor the staging slices.
+	var order []int32
 	if b.workers > 1 {
+		b.confOf = make([][]int32, n)
+		b.friendOf = make([][]int32, n)
+		order = make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+		}
 		tile := make([]int32, n)
 		tileSize := 4 * radius
 		cols := world.Width()/tileSize + 1
@@ -400,14 +408,15 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 	minSq := int64(b.minS) * int64(b.minS)
 	friendOuter := int64(radius) * int64(radius)
 	if b.workers == 1 {
-		// Serial hot path: insert edges directly during the scan — the
-		// collect-then-replay detour exists only so parallel shards can
-		// write disjoint slices; with one worker the scan order IS the
-		// replay order, so skip the per-fragment adjacency staging.
-		b.confOf, b.friendOf = nil, nil
+		// Serial hot path: scan with the grid's own stamps and insert each
+		// fragment's canonically ordered neighbors as soon as its query
+		// finishes, reusing two small buffers instead of staging per-fragment
+		// slices for a replay.
+		var confBuf, friendBuf []int32
 		return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				fi := b.frags[i]
+				confBuf, friendBuf = confBuf[:0], friendBuf[:0]
 				grid.Near(fi.Shape.Bounds(), radius, func(j int) {
 					if j <= i || fi.Feature == b.frags[j].Feature {
 						return
@@ -415,15 +424,23 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 					d := geom.GapSqPoly(fi.Shape, b.frags[j].Shape)
 					switch {
 					case d <= minSq:
-						if b.g.AddConflict(i, j) {
-							b.stats.ConflictEdges++
-						}
+						confBuf = append(confBuf, int32(j))
 					case d < friendOuter:
-						if b.g.AddFriend(i, j) {
-							b.stats.FriendEdges++
-						}
+						friendBuf = append(friendBuf, int32(j))
 					}
 				})
+				slices.Sort(confBuf)
+				slices.Sort(friendBuf)
+				for _, j := range confBuf {
+					if b.g.AddConflict(i, int(j)) {
+						b.stats.ConflictEdges++
+					}
+				}
+				for _, j := range friendBuf {
+					if b.g.AddFriend(i, int(j)) {
+						b.stats.FriendEdges++
+					}
+				}
 			}
 		})
 	}
@@ -446,14 +463,18 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 					b.friendOf[i] = append(b.friendOf[i], int32(j))
 				}
 			})
+			slices.Sort(b.confOf[i])
+			slices.Sort(b.friendOf[i])
 		}
 	})
 }
 
-// replayEdges runs stage 4: insert the discovered edges in ascending
-// fragment order, reproducing the exact call sequence — and hence adjacency
-// list ordering — of a serial i-ascending grid scan. A serial build
-// (workers == 1) inserted directly during the scan and has nothing staged.
+// replayEdges runs stage 4: insert the discovered edges in ascending (i, j)
+// order. Because every staged neighbor list is sorted, vertex v first
+// receives its smaller neighbors (while they replay) and then its larger
+// ones (when v replays), both ascending — so each adjacency list ends up
+// fully sorted. A serial build (workers == 1) inserted directly during the
+// scan, in the same canonical order, and has nothing staged.
 func (b *builder) replayEdges() {
 	if b.confOf == nil {
 		return

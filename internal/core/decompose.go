@@ -155,6 +155,12 @@ type Result struct {
 	// K and Alpha echo the options used.
 	K     int
 	Alpha float64
+	// Options records the full normalized options of the run (worker
+	// counts as requested). ApplyEdits compares them — ignoring the
+	// result-neutral worker counts — against its own options, because
+	// colors copied from this result are only valid under the exact
+	// engine, seed, division, and stitch settings that produced them.
+	Options Options
 }
 
 // Masks groups fragment shapes by assigned mask.
@@ -233,6 +239,7 @@ func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Resul
 		Degraded:      stats.Fallbacks,
 		K:             opts.K,
 		Alpha:         opts.Alpha,
+		Options:       opts,
 	}, nil
 }
 

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mpl/internal/geom"
+	"mpl/internal/layout"
+)
+
+// fuzzBaseLayout is the fixed pre-edit layout FuzzApplyEdits mutates: a
+// dense 4×4 contact cluster (survives peeling, reaches the solver), a wire
+// with pinned ends (a live stitch candidate), a K5 cross (one native
+// conflict), and a sparse contact row (single-vertex components) — every
+// structural regime ApplyEdits has to preserve.
+func fuzzBaseLayout() *layout.Layout {
+	l := layout.New("fuzz-base")
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			l.AddRect(geom.Rect{X0: c * 50, Y0: r * 50, X1: c*50 + 20, Y1: r*50 + 20})
+		}
+	}
+	l.AddRect(geom.Rect{X0: 400, Y0: 0, X1: 800, Y1: 20})
+	l.AddRect(geom.Rect{X0: 400, Y0: 60, X1: 460, Y1: 80})
+	l.AddRect(geom.Rect{X0: 740, Y0: 60, X1: 800, Y1: 80})
+	for _, d := range [][2]int{{0, 0}, {40, 0}, {-40, 0}, {0, 40}, {0, -40}} {
+		l.AddRect(geom.Rect{X0: 1000 + d[0], Y0: d[1], X1: 1000 + d[0] + 20, Y1: d[1] + 20})
+	}
+	for i := 0; i < 8; i++ {
+		l.AddRect(geom.Rect{X0: i * 300, Y0: 400, X1: i*300 + 20, Y1: 420})
+	}
+	return l
+}
+
+// decodeEdits turns fuzz bytes into an edit batch: five bytes per op,
+// indices reduced modulo the running feature count so most inputs exercise
+// the interesting (valid) paths rather than the argument validation.
+func decodeEdits(data []byte, nf int) []Edit {
+	cnt := nf
+	var edits []Edit
+	for len(data) >= 5 && len(edits) < 8 {
+		op := int(data[0]) % 3
+		if cnt == 0 {
+			op = 0
+		}
+		switch op {
+		case 0:
+			x, y := int(int8(data[1]))*20, int(int8(data[2]))*20
+			w, h := 20+int(data[3]%5)*20, 20+int(data[4]%5)*20
+			edits = append(edits, Edit{Op: EditAdd, Shape: geom.NewPolygon(geom.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h})})
+			cnt++
+		case 1:
+			edits = append(edits, Edit{Op: EditRemove, Feature: int(data[1]) % cnt})
+			cnt--
+		case 2:
+			edits = append(edits, Edit{
+				Op: EditMove, Feature: int(data[1]) % cnt,
+				DX: int(int8(data[2])) * 5, DY: int(int8(data[3])) * 5,
+			})
+		}
+		data = data[5:]
+	}
+	return edits
+}
+
+// FuzzApplyEdits is the fuzz face of the equivalence harness: arbitrary
+// byte-decoded edit batches applied incrementally must match a from-scratch
+// build+solve of the post-edit layout exactly — and must never panic.
+func FuzzApplyEdits(f *testing.F) {
+	// Seeds: one op of each kind, a mixed batch, boundary-ish coordinates,
+	// and a long batch that drains and regrows the layout.
+	f.Add([]byte{0, 2, 3, 1, 1})                                       // add
+	f.Add([]byte{1, 7, 0, 0, 0})                                       // remove
+	f.Add([]byte{2, 16, 4, 252, 0})                                    // move the wire
+	f.Add([]byte{2, 0, 128, 127, 0, 1, 0, 0, 0, 0, 0, 200, 200, 2, 2}) // move far, remove, add far
+	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+		0, 1, 1, 0, 0, 0, 2, 2, 0, 0, 2, 1, 5, 5, 0, 1, 3, 0, 0, 0})
+
+	base := fuzzBaseLayout()
+	opts := Options{K: 4, Algorithm: AlgLinear, Seed: 1}
+	prev, err := Decompose(base, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edits := decodeEdits(data, len(base.Features))
+		newL, inc, _, err := ApplyEdits(context.Background(), base, prev, edits, opts)
+		if err != nil {
+			t.Fatalf("decoded edits must be valid, got %v for %v", err, edits)
+		}
+		scratch, err := Decompose(newL, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, 4, inc, scratch)
+	})
+}

@@ -2,9 +2,35 @@ package layout
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// corpusCircuits seeds a fuzz target with the four committed benchmark
+// circuits (benchmarks/*.lay) — real full-scale inputs with every feature
+// shape the generators produce, so mutation starts from meaningful files
+// rather than toy snippets.
+func corpusCircuits(f *testing.F) [][]byte {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "benchmarks", "*.lay"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no committed benchmark circuits found")
+	}
+	var out [][]byte
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
 
 // FuzzRead: the text parser must never panic and must round-trip whatever
 // it accepts.
@@ -18,6 +44,9 @@ func FuzzRead(f *testing.F) {
 	f.Add("feature\nrect -5 -5 5 5\nend\n")
 	f.Add("# comment only\n")
 	f.Add("rect 1 2 3 4\n")
+	for _, data := range corpusCircuits(f) {
+		f.Add(string(data))
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		l, err := Read(strings.NewReader(input))
 		if err != nil {
@@ -46,6 +75,17 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("MPLB"))
 	f.Add([]byte{})
+	for _, data := range corpusCircuits(f) {
+		l, err := Read(bytes.NewReader(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := l.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Fuzz(func(t *testing.T, input []byte) {
 		l, err := ReadBinary(bytes.NewReader(input))
 		if err != nil {

@@ -1,23 +1,40 @@
 // Package service is the serving layer over the decomposition pipeline: a
 // layout-hash keyed LRU result cache with single-flight deduplication, a
-// decomposition-graph cache shared by algorithm sweeps, and a
-// bounded-concurrency batch runner. It exists so callers with many or
-// repeated layouts (the HTTP API of `qpld serve`, the table sweeps of
-// cmd/evaluate) get concurrency and caching without re-implementing either,
-// while cancellation flows straight through to core.DecomposeGraphContext.
+// decomposition-graph cache shared by algorithm sweeps, a bounded-concurrency
+// batch runner, and a session store for incremental (ECO) serving. It exists
+// so callers with many or repeated layouts (the HTTP API of `qpld serve`,
+// the table sweeps of cmd/evaluate) get concurrency and caching without
+// re-implementing either, while cancellation flows straight through to
+// core.DecomposeGraphContext.
+//
+// Sessions make edits first-class: every successful full-quality Decompose
+// registers an immutable session (layout + result) under its layout hash,
+// and DecomposeIncremental advances a session by an edit batch through
+// core.ApplyEdits — re-solving only the dirty region — registering the
+// post-edit state as a new session. Because a session is keyed by the
+// geometry it decomposed (not by a mutable "current state"), concurrent
+// conflicting edit batches never race: each derives its own successor state
+// from the same immutable base.
 package service
 
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"mpl/internal/core"
+	"mpl/internal/geom"
 	"mpl/internal/layout"
 )
+
+// ErrNoSession is returned by DecomposeIncremental when the base layout
+// hash has no live session — the client must (re)send the full layout via
+// Decompose first. Wrapped; test with errors.Is.
+var ErrNoSession = errors.New("service: no session for base layout hash")
 
 // Config sizes a Service. The zero value is usable.
 type Config struct {
@@ -44,11 +61,13 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
-	Hits      uint64 // result served from cache (including waits on an in-flight solve)
-	Misses    uint64 // result required a solve
-	Evictions uint64 // cache entries dropped by the LRU policy
-	GraphHits uint64 // graph builds avoided by the graph cache
-	Size      int    // current result-cache entry count
+	Hits        uint64 // result served from cache (including waits on an in-flight solve)
+	Misses      uint64 // result required a solve
+	Evictions   uint64 // cache entries dropped by the LRU policy
+	GraphHits   uint64 // graph builds avoided by the graph cache
+	Incremental uint64 // incremental (ApplyEdits) solves actually executed
+	Size        int    // current result-cache entry count
+	Sessions    int    // current session-store entry count
 }
 
 // Service runs decompositions with caching and bounded concurrency. Safe
@@ -58,10 +77,32 @@ type Service struct {
 	sem   chan struct{} // full-quality solves
 	fbSem chan struct{} // fallback solves for requests whose deadline expired while queued
 
-	mu      sync.Mutex
-	results *lru // key -> *entry (may be in-flight)
-	graphs  *lru // key -> *graphEntry (may be in-flight)
-	stats   Stats
+	mu       sync.Mutex
+	results  *lru // key -> *entry (may be in-flight)
+	graphs   *lru // key -> *graphEntry (may be in-flight)
+	sessions *lru // key -> *session (always complete; immutable once stored)
+	stats    Stats
+}
+
+// session is one servable decomposition state: the layout geometry and the
+// full-quality result computed for it under one options key. Both fields
+// are immutable after the session is stored — DecomposeIncremental derives
+// new sessions instead of updating old ones, so readers never see torn
+// state and conflicting edit batches cannot race.
+type session struct {
+	layout *layout.Layout
+	res    *core.Result
+}
+
+// snapshotLayout shields a stored session from later caller-side appends to
+// the feature slice. (Callers mutating feature geometry in place would
+// already have broken the hash-keyed caches; that contract is unchanged.)
+func snapshotLayout(l *layout.Layout) *layout.Layout {
+	return &layout.Layout{
+		Name:     l.Name,
+		Process:  l.Process,
+		Features: append([]geom.Polygon(nil), l.Features...),
+	}
 }
 
 // entry is one result-cache slot. ready is closed once res/err are set;
@@ -76,11 +117,12 @@ type entry struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Workers),
-		fbSem:   make(chan struct{}, cfg.Workers),
-		results: newLRU(cfg.CacheSize),
-		graphs:  newLRU(cfg.CacheSize),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		fbSem:    make(chan struct{}, cfg.Workers),
+		results:  newLRU(cfg.CacheSize),
+		graphs:   newLRU(cfg.CacheSize),
+		sessions: newLRU(cfg.CacheSize),
 	}
 }
 
@@ -89,8 +131,16 @@ func New(cfg Config) *Service {
 // solve. The returned Result has its own Colors slice, so callers may
 // mutate it (e.g. BalanceMasks) without corrupting the cache.
 func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Options) (res *core.Result, cached bool, err error) {
+	res, _, cached, err = s.DecomposeHashed(ctx, l, opts)
+	return res, cached, err
+}
+
+// DecomposeHashed is Decompose, additionally returning the layout hash it
+// keyed the run under — the session base for DecomposeIncremental — so
+// callers building responses (qpld serve) don't re-hash the geometry.
+func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts core.Options) (res *core.Result, layoutHash string, cached bool, err error) {
 	if opts.K != 0 && opts.K < 2 {
-		return nil, false, fmt.Errorf("service: K must be >= 2, got %d", opts.K)
+		return nil, "", false, fmt.Errorf("service: K must be >= 2, got %d", opts.K)
 	}
 	if s.cfg.DefaultTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -108,6 +158,10 @@ func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Opt
 		if v, ok := s.results.get(key); ok {
 			shared := v.(*entry)
 			s.stats.Hits++
+			// Probe the session store while the lock is already held: on
+			// the steady-state hit path (live session) this costs one map
+			// lookup, not an extra lock acquisition.
+			_, sessOK := s.sessions.get(key)
 			s.mu.Unlock()
 			select {
 			case <-shared.ready:
@@ -119,9 +173,9 @@ func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Opt
 				// construction, so it bypasses the entry bookkeeping.
 				res, err := s.solve(ctx, lh, l, opts)
 				if err != nil {
-					return nil, false, err
+					return nil, "", false, err
 				}
-				return res, false, nil
+				return res, lh, false, nil
 			}
 			// A healthy completed solve is shareable. A degraded or failed
 			// one reflects the owning caller's context, not this one's, so
@@ -129,7 +183,14 @@ func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Opt
 			// making the next loop iteration a fresh miss (or a wait on a
 			// newer in-flight solve).
 			if shared.err == nil && shared.res.Degraded == 0 {
-				return copyResult(shared.res), true, nil
+				// Re-register the session if it was LRU-evicted while the
+				// result stayed hot: the documented recovery for a lost
+				// session is "re-send the full layout", and that recovery
+				// must work even when it lands here instead of on a solve.
+				if !sessOK {
+					s.ensureSession(key, l, shared.res)
+				}
+				return copyResult(shared.res), lh, true, nil
 			}
 			continue
 		}
@@ -144,17 +205,49 @@ func (s *Service) Decompose(ctx context.Context, l *layout.Layout, opts core.Opt
 	// Degraded or failed solves are not worth caching: a later caller with
 	// a healthy deadline deserves a full-quality run. removeIf guards
 	// against deleting a newer entry that replaced ours after an eviction.
-	if e.err != nil || e.res.Degraded > 0 {
-		s.mu.Lock()
-		s.results.removeIf(key, e)
-		s.stats.Size = s.results.len()
-		s.mu.Unlock()
+	// A healthy solve additionally registers a session so the caller can
+	// follow up with DecomposeIncremental edit batches. The layout snapshot
+	// is O(features) pure work, so it happens before taking the lock.
+	// (DecomposeIncremental's post-solve bookkeeping mirrors this — keep
+	// the two in sync.)
+	var sess *session
+	if e.err == nil && e.res.Degraded == 0 {
+		sess = &session{layout: snapshotLayout(l), res: e.res}
 	}
+	s.mu.Lock()
+	if sess == nil {
+		s.results.removeIf(key, e)
+	} else {
+		s.sessions.put(key, sess, nil)
+		s.stats.Sessions = s.sessions.len()
+	}
+	s.stats.Size = s.results.len()
+	s.mu.Unlock()
 	close(e.ready)
 	if e.err != nil {
-		return nil, false, e.err
+		return nil, "", false, e.err
 	}
-	return copyResult(e.res), false, nil
+	return copyResult(e.res), lh, false, nil
+}
+
+// ensureSession re-registers a session for a healthy cached result whose
+// session entry may have been LRU-evicted independently. The (pure,
+// O(features)) snapshot is taken outside the lock and only when actually
+// needed.
+func (s *Service) ensureSession(key string, l *layout.Layout, res *core.Result) {
+	s.mu.Lock()
+	_, ok := s.sessions.get(key) // present: just bumped its recency
+	s.mu.Unlock()
+	if ok {
+		return
+	}
+	sess := &session{layout: snapshotLayout(l), res: res}
+	s.mu.Lock()
+	if _, ok := s.sessions.get(key); !ok {
+		s.sessions.put(key, sess, nil)
+		s.stats.Sessions = s.sessions.len()
+	}
+	s.mu.Unlock()
 }
 
 // solve acquires a concurrency slot, builds (or reuses) the decomposition
@@ -224,12 +317,132 @@ func (s *Service) graphFor(lh string, l *layout.Layout, opts core.Options) (*cor
 	}
 }
 
+// DecomposeIncremental advances the session identified by baseHash (a
+// LayoutHash previously returned alongside a Decompose or
+// DecomposeIncremental of the same opts) by one edit batch, re-solving only
+// the dirty region via core.ApplyEdits. It returns the post-edit result,
+// the post-edit layout hash (the base for follow-up batches), the reuse
+// statistics (nil when the result came from the cache), and whether it was
+// cached.
+//
+// Identical concurrent batches are deduplicated through the result cache:
+// the post-edit geometry is hashed first, so one caller applies the edits
+// and the rest wait on its entry. Conflicting concurrent batches derive
+// independent successor sessions from the same immutable base — there is
+// no "current state" to race on. When baseHash has no live session
+// (evicted, never created, or caching disabled) the call fails with
+// ErrNoSession and the client re-sends the full layout via Decompose.
+func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edits []core.Edit, opts core.Options) (res *core.Result, newHash string, estats *core.EditStats, cached bool, err error) {
+	if opts.K != 0 && opts.K < 2 {
+		return nil, "", nil, false, fmt.Errorf("service: K must be >= 2, got %d", opts.K)
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	s.mu.Lock()
+	v, ok := s.sessions.get(resultKey(baseHash, opts))
+	s.mu.Unlock()
+	if !ok {
+		return nil, "", nil, false, fmt.Errorf("%w: %.16s…", ErrNoSession, baseHash)
+	}
+	sess := v.(*session)
+
+	// Hash the post-edit geometry up front: the result cache and
+	// single-flight machinery then work exactly as for full solves.
+	newL, err := core.EditLayout(sess.layout, edits)
+	if err != nil {
+		return nil, "", nil, false, err
+	}
+	newHash = LayoutHash(newL)
+	key := resultKey(newHash, opts)
+
+	// NOTE: this single-flight loop is the deliberate twin of the one in
+	// DecomposeHashed — entry lifecycle, degraded-entry retry, session
+	// registration, close(ready) ordering. A semantic change to either
+	// loop must be mirrored in the other.
+	var e *entry
+	for e == nil {
+		s.mu.Lock()
+		if v, ok := s.results.get(key); ok {
+			shared := v.(*entry)
+			s.stats.Hits++
+			_, sessOK := s.sessions.get(key)
+			s.mu.Unlock()
+			select {
+			case <-shared.ready:
+			case <-ctx.Done():
+				// Deadline expired while waiting on someone else's solve:
+				// answer degraded under our own context, uncached, like
+				// Decompose does.
+				_, res, estats, err := s.applyEdits(ctx, sess, edits, opts)
+				if err != nil {
+					return nil, "", nil, false, err
+				}
+				return res, newHash, estats, false, nil
+			}
+			if shared.err == nil && shared.res.Degraded == 0 {
+				// The successor session may have been evicted while its
+				// result stayed cached; chaining from newHash must work.
+				if !sessOK {
+					s.ensureSession(key, newL, shared.res)
+				}
+				return copyResult(shared.res), newHash, nil, true, nil
+			}
+			continue
+		}
+		e = &entry{ready: make(chan struct{})}
+		s.stats.Misses++
+		s.results.put(key, e, &s.stats.Evictions)
+		s.stats.Size = s.results.len()
+		s.mu.Unlock()
+	}
+
+	var resL *layout.Layout
+	resL, e.res, estats, e.err = s.applyEdits(ctx, sess, edits, opts)
+	s.mu.Lock()
+	if e.err != nil || e.res.Degraded > 0 {
+		s.results.removeIf(key, e)
+	} else {
+		s.sessions.put(key, &session{layout: resL, res: e.res}, nil)
+		s.stats.Sessions = s.sessions.len()
+	}
+	s.stats.Size = s.results.len()
+	s.mu.Unlock()
+	close(e.ready)
+	if e.err != nil {
+		return nil, "", nil, false, e.err
+	}
+	return copyResult(e.res), newHash, estats, false, nil
+}
+
+// applyEdits runs core.ApplyEdits under the same concurrency discipline as
+// solve: a full-quality slot when the deadline is alive, the bounded
+// fallback lane when it expired while queued.
+func (s *Service) applyEdits(ctx context.Context, sess *session, edits []core.Edit, opts core.Options) (*layout.Layout, *core.Result, *core.EditStats, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.fbSem <- struct{}{}
+		defer func() { <-s.fbSem }()
+	}
+	s.mu.Lock()
+	s.stats.Incremental++
+	s.mu.Unlock()
+	return core.ApplyEdits(ctx, sess.layout, sess.res, edits, opts)
+}
+
 // StatsSnapshot returns current cache statistics.
 func (s *Service) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Size = s.results.len()
+	st.Sessions = s.sessions.len()
 	return st
 }
 

@@ -123,7 +123,13 @@ func (g *Grid) near(stamp []int32, visit *int32, q geom.Rect, radius int, fn fun
 		*visit = 1
 	}
 	rr := int64(radius) * int64(radius)
-	expanded := q.Expand(radius)
+	// Expand by radius+1, not radius: rectangles are half-open, so a
+	// neighbor at gap exactly radius starts at the first coordinate
+	// *outside* q.Expand(radius), and when a cell boundary falls there the
+	// bucket scan would skip its cells entirely — a false negative at the
+	// inclusive boundary of the distance predicate below. The extra cell
+	// ring only adds candidates; GapSq still decides.
+	expanded := q.Expand(radius + 1)
 	c0, r0, c1, r1 := g.cellRange(expanded)
 	for row := r0; row <= r1; row++ {
 		for col := c0; col <= c1; col++ {

@@ -122,3 +122,29 @@ func TestGridStampWraparound(t *testing.T) {
 		t.Fatalf("post-wrap query = %v", got)
 	}
 }
+
+// TestGridExactRadiusBoundary: a neighbor at gap exactly equal to the query
+// radius must be reported no matter where the cell boundaries fall.
+// Regression test: the bucket scan used q.Expand(radius), whose half-open
+// far edge could exclude the neighbor's first cell row when a boundary fell
+// exactly between them — a false negative at the inclusive boundary of the
+// GapSq predicate (found by FuzzApplyEdits via a VerifySolution recount
+// that missed a conflict pair at gap exactly mins).
+func TestGridExactRadiusBoundary(t *testing.T) {
+	const radius = 80
+	a := geom.Rect{X0: 100, Y0: 0, X1: 120, Y1: 20}
+	b := geom.Rect{X0: 100, Y0: 100, X1: 120, Y1: 120} // vertical gap exactly 80
+	for _, cell := range []int{radius - 1, radius, radius + 1, 33, 7} {
+		// Sweep the world origin so every cell-boundary phase relative to
+		// the gap is hit at least once.
+		for off := 0; off <= cell; off++ {
+			world := geom.Rect{X0: -200 - off, Y0: -200 - off, X1: 400, Y1: 400}
+			g := NewGrid(world, cell, 2)
+			g.Insert(a)
+			g.Insert(b)
+			if got := collect(g, a, radius); len(got) != 2 {
+				t.Fatalf("cell=%d off=%d: ids at gap exactly %d = %v, want both", cell, off, radius, got)
+			}
+		}
+	}
+}

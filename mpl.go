@@ -51,12 +51,25 @@
 // wall-clock knob (DESIGN.md §3). Per-stage timings are reported in
 // BuildStats.Timing, and BuildGraphContext cancels cooperatively.
 //
+// # Incremental (ECO) decomposition
+//
+// ApplyEdits re-decomposes an edited layout in time proportional to the
+// dirty region: only edited features (plus close neighbors whose stitch
+// fragmentation changed) are rebuilt, and only the connected components
+// touching them are re-solved — every other component keeps its prior
+// colors. For the deterministic engines the result is exactly what a
+// from-scratch Decompose of the edited layout would return (DESIGN.md §6):
+//
+//	edits := []mpl.Edit{{Op: mpl.EditMove, Feature: 17, DX: 40}}
+//	newL, res2, stats, err := mpl.ApplyEdits(l, res, edits, opts)
+//
 // # Serving
 //
 // The qpld command's serve subcommand exposes decomposition as an HTTP
-// JSON API backed by a layout-hash keyed LRU result cache and a
-// bounded-concurrency batch runner (internal/service); see the README and
-// docs/API.md.
+// JSON API backed by a layout-hash keyed LRU result cache, a
+// bounded-concurrency batch runner, and sessions for incremental (ECO)
+// serving via POST /v1/decompose/incremental (internal/service); see the
+// README and docs/API.md.
 package mpl
 
 import (
@@ -103,6 +116,26 @@ type (
 	Fragment = core.Fragment
 	// DecompGraph couples the decomposition graph with fragment geometry.
 	DecompGraph = core.Graph
+)
+
+// Incremental (ECO) decomposition types.
+type (
+	// Edit is one ECO operation on a layout (add / remove / move).
+	Edit = core.Edit
+	// EditOp selects the kind of an Edit.
+	EditOp = core.EditOp
+	// EditStats reports how much work ApplyEdits reused versus redid.
+	EditStats = core.EditStats
+)
+
+// The three ECO operations.
+const (
+	// EditAdd appends Edit.Shape as a new feature.
+	EditAdd = core.EditAdd
+	// EditRemove deletes feature Edit.Feature (later features shift down).
+	EditRemove = core.EditRemove
+	// EditMove translates feature Edit.Feature by (Edit.DX, Edit.DY).
+	EditMove = core.EditMove
 )
 
 // The four color-assignment engines of the paper (Tables 1 and 2).
@@ -166,6 +199,32 @@ func BuildGraphContext(ctx context.Context, l *Layout, opts BuildOptions) (*Deco
 // DecomposeGraph colors an already-built decomposition graph.
 func DecomposeGraph(g *DecompGraph, opts Options) (*Result, error) {
 	return core.DecomposeGraph(g, opts)
+}
+
+// ApplyEdits incrementally re-decomposes an edited layout: l and prev are
+// the layout and Result of the previous run under the same opts. Only the
+// dirty region — edited features, neighbors within the coloring distance
+// whose fragmentation changed, and the connected components touching them —
+// is rebuilt and re-solved; every other component keeps its prior colors.
+// For the deterministic engines the result is exactly what a from-scratch
+// Decompose of the edited layout would return (DESIGN.md §6); the
+// randomized harness in internal/core/incremental_test.go and the
+// FuzzApplyEdits fuzz target enforce that equivalence.
+func ApplyEdits(l *Layout, prev *Result, edits []Edit, opts Options) (*Layout, *Result, *EditStats, error) {
+	return core.ApplyEdits(context.Background(), l, prev, edits, opts)
+}
+
+// ApplyEditsContext is ApplyEdits with the cancellation semantics of
+// DecomposeContext: a dead context degrades the dirty components to the
+// linear-time fallback instead of failing.
+func ApplyEditsContext(ctx context.Context, l *Layout, prev *Result, edits []Edit, opts Options) (*Layout, *Result, *EditStats, error) {
+	return core.ApplyEdits(ctx, l, prev, edits, opts)
+}
+
+// EditLayout applies the edits to the layout without decomposing anything —
+// the pure geometry half of ApplyEdits.
+func EditLayout(l *Layout, edits []Edit) (*Layout, error) {
+	return core.EditLayout(l, edits)
 }
 
 // ParseAlgorithm maps "ilp", "sdp-backtrack", "sdp-greedy" or "linear" to
