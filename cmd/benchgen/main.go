@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	benchgen [-scale 1.0] [-out dir] [-circuits C432,S38417]
+//	benchgen [-scale 1.0] [-seed 0] [-workers N] [-out dir] [-circuits C432,S38417]
+//
+// Generation is fully deterministic: for a fixed -scale and -seed the
+// emitted files are byte-identical across runs and across any -workers
+// value (TestBenchgenDeterministic pins this), and -seed 0 reproduces the
+// committed benchmarks/*.lay bytes exactly. Non-zero seeds generate layout
+// variants of each circuit (load testing, fuzz corpora) by mixing the seed
+// into the circuit's name-derived base seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"mpl"
 )
@@ -22,9 +31,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgen: ")
 	scale := flag.Float64("scale", 1.0, "layout scale factor (1.0 = nominal size)")
+	seed := flag.Int64("seed", 0, "extra generation seed (0 = the committed baseline bytes)")
 	out := flag.String("out", "benchmarks", "output directory")
 	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all of Table 1)")
 	binaryOut := flag.Bool("binary", false, "write the compact binary format (.layb) instead of text")
+	workers := flag.Int("workers", 1, "circuits generated concurrently (output is identical at any value)")
 	flag.Parse()
 
 	names := make([]string, 0, 15)
@@ -39,24 +50,72 @@ func main() {
 			}
 		}
 	}
-
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := run(names, *scale, *seed, *workers, *out, *binaryOut, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	for _, name := range names {
-		l, err := mpl.GenerateBenchmark(name, *scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		path := filepath.Join(*out, name+".lay")
-		write := l.WriteFile
-		if *binaryOut {
-			path = filepath.Join(*out, name+".layb")
-			write = l.WriteBinaryFile
-		}
-		if err := write(path); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8s %7d features -> %s\n", name, len(l.Features), path)
+}
+
+// run generates every named circuit into outDir, fanning the work across
+// workers goroutines. Each circuit's bytes depend only on (name, scale,
+// seed) — never on scheduling — and status lines are collected and printed
+// in input order, so the whole command is deterministic at any worker
+// count. The first error wins; remaining work still drains.
+func run(names []string, scale float64, seed int64, workers int, outDir string, binary bool, w io.Writer) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	type status struct {
+		line string
+		err  error
+	}
+	results := make([]status, len(names))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				line, err := generateOne(names[i], scale, seed, outDir, binary)
+				results[i] = status{line: line, err: err}
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		fmt.Fprint(w, r.line)
+	}
+	return nil
+}
+
+func generateOne(name string, scale float64, seed int64, outDir string, binary bool) (string, error) {
+	l, err := mpl.GenerateBenchmarkSeeded(name, scale, seed)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(outDir, name+".lay")
+	write := l.WriteFile
+	if binary {
+		path = filepath.Join(outDir, name+".layb")
+		write = l.WriteBinaryFile
+	}
+	if err := write(path); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%-8s %7d features -> %s\n", name, len(l.Features), path), nil
 }

@@ -63,10 +63,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "SDP random seed")
 	ilpBudget := flag.Duration("ilp-budget", 60*time.Second, "ILP time budget per circuit (paper: 3600s)")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: the table's own list)")
-	algsFlag := flag.String("algs", "", "comma-separated algorithm subset (default: the table's own list)")
+	algsFlag := flag.String("algs", "", "comma-separated algorithm subset (default: the table's own list; 'none' with -engine runs only the portfolio policies)")
 	workers := flag.Int("workers", 1, "parallel component workers (deterministic for any value)")
 	buildWorkers := flag.Int("build-workers", 1, "parallel graph-construction workers (deterministic for any value)")
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent circuit solves in table mode (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "adaptive engine policies to add to the sweep: auto, race, or auto,race (portfolio per-component dispatch instead of one fixed algorithm)")
 	ablation := flag.String("ablation", "", "run an ablation instead of a table: division, threshold")
 	jsonOut := flag.String("json", "", "write a benchmark-trajectory JSON instead of a table: a path, or 'auto' for BENCH_<timestamp>.json")
 	jsonLabel := flag.String("json-label", "trajectory", "label stored in the -json record")
@@ -81,6 +82,7 @@ func main() {
 		}
 	}
 	names := circuitList(*circuits, *k)
+	specs := sweepList(*algsFlag, *engine, *k)
 	if *jsonOut != "" {
 		if *ablation != "" {
 			log.Fatal("-json and -ablation are mutually exclusive")
@@ -91,7 +93,7 @@ func main() {
 			// -json already guarantees, so it passes.)
 			log.Fatal("-json runs circuits strictly sequentially; -batch-workers > 1 does not apply")
 		}
-		runJSON(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *edits, *jsonOut, *jsonLabel)
+		runJSON(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *edits, *jsonOut, *jsonLabel)
 		return
 	}
 	if *edits > 0 {
@@ -99,7 +101,7 @@ func main() {
 	}
 	switch *ablation {
 	case "":
-		runTable(names, *k, *scale, *seed, *ilpBudget, *algsFlag, *workers, *buildWorkers, *batchWorkers)
+		runTable(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *batchWorkers)
 	case "division":
 		runDivisionAblation(names, *k, *scale, *seed, *workers, *buildWorkers)
 	case "threshold":
@@ -146,9 +148,13 @@ func buildGraphs(names []string, k int, scale float64, buildWorkers int) map[str
 }
 
 // algList resolves the -algs flag, defaulting to the table's own columns.
+// "none" selects no fixed algorithms, for sweeps that run only the -engine
+// policies.
 func algList(algsFlag string, k int) []mpl.Algorithm {
 	var algs []mpl.Algorithm
 	switch {
+	case algsFlag == "none":
+		return nil
 	case algsFlag != "":
 		for _, a := range strings.Split(algsFlag, ",") {
 			alg, err := mpl.ParseAlgorithm(strings.TrimSpace(a))
@@ -165,13 +171,67 @@ func algList(algsFlag string, k int) []mpl.Algorithm {
 	return algs
 }
 
-func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers, batchWorkers int) {
-	algs := algList(algsFlag, k)
-	cols := make([]string, len(algs))
+// sweepSpec is one column of a table or trajectory sweep: a fixed algorithm,
+// or an adaptive engine policy (portfolio auto/race per-component dispatch).
+type sweepSpec struct {
+	label  string
+	alg    mpl.Algorithm // used when engine is empty
+	engine string        // "auto" or "race"
+}
+
+// options builds the mpl.Options for this spec with the shared sweep knobs.
+func (s sweepSpec) options(k int, seed int64, ilpBudget time.Duration, workers, buildWorkers int) mpl.Options {
+	return mpl.Options{
+		K:            k,
+		Algorithm:    s.alg,
+		Engine:       s.engine,
+		Seed:         seed,
+		ILPTimeLimit: ilpBudget,
+		Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
+		Division:     division.Options{Workers: workers},
+	}
+}
+
+// deterministic reports whether the spec's results are wall-clock
+// independent: race-mode winners can flip on budget expiry and ILP rows
+// depend on the time budget, so neither anchors an -edits equivalence check.
+func (s sweepSpec) deterministic() bool {
+	if s.engine != "" {
+		return s.engine == mpl.EngineAuto
+	}
+	return s.alg != mpl.ILP
+}
+
+// sweepList combines -algs (fixed algorithms) and -engine (adaptive
+// policies) into the sweep's column list.
+func sweepList(algsFlag, engineFlag string, k int) []sweepSpec {
+	var specs []sweepSpec
+	for _, a := range algList(algsFlag, k) {
+		specs = append(specs, sweepSpec{label: a.String(), alg: a})
+	}
+	if engineFlag != "" {
+		for _, e := range strings.Split(engineFlag, ",") {
+			eng, err := mpl.ParseEngine(strings.TrimSpace(e))
+			if err != nil || eng == "" {
+				log.Fatalf("-engine: want auto, race or auto,race; got %q", e)
+			}
+			// The portfolio dispatches to SDP+Backtrack defaults for its
+			// middle tier, so the classic Algorithm field stays zero-valued.
+			specs = append(specs, sweepSpec{label: eng, engine: eng})
+		}
+	}
+	if len(specs) == 0 {
+		log.Fatal("-algs none without -engine leaves nothing to run")
+	}
+	return specs
+}
+
+func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, batchWorkers int) {
+	cols := make([]string, len(specs))
 	hasBT := false
-	for i, a := range algs {
-		cols[i] = a.String()
-		hasBT = hasBT || a == mpl.SDPBacktrack
+	for i, s := range specs {
+		cols[i] = s.label
+		hasBT = hasBT || (s.engine == "" && s.alg == mpl.SDPBacktrack)
 	}
 	baseline := cols[0]
 	if hasBT {
@@ -189,45 +249,38 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 	// (run -batch-workers 1 for budget-faithful ILP columns).
 	svc := service.New(service.Config{
 		Workers:   batchWorkers,
-		CacheSize: len(names) * (len(algs) + 1),
+		CacheSize: len(names) * (len(specs) + 1),
 	})
-	reqs := make([]service.Request, 0, len(names)*len(algs))
+	reqs := make([]service.Request, 0, len(names)*len(specs))
 	for _, name := range names {
 		l, err := loadLayout(name, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, a := range algs {
+		for _, s := range specs {
 			reqs = append(reqs, service.Request{
-				Name:   name,
-				Layout: l,
-				Options: mpl.Options{
-					K:            k,
-					Algorithm:    a,
-					Seed:         seed,
-					ILPTimeLimit: ilpBudget,
-					Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
-					Division:     division.Options{Workers: workers},
-				},
+				Name:    name,
+				Layout:  l,
+				Options: s.options(k, seed, ilpBudget, workers, buildWorkers),
 			})
 		}
 	}
 	out := svc.DecomposeAll(context.Background(), reqs)
 
 	for ci, name := range names {
-		cells := make([]report.Cell, 0, len(algs))
+		cells := make([]report.Cell, 0, len(specs))
 		fragments := 0
-		for ai, a := range algs {
-			r := out[ci*len(algs)+ai]
+		for si, s := range specs {
+			r := out[ci*len(specs)+si]
 			if r.Err != nil {
-				log.Fatalf("%s/%s: %v", name, a, r.Err)
+				log.Fatalf("%s/%s: %v", name, s.label, r.Err)
 			}
 			res := r.Result
 			fragments = len(res.Graph.Fragments)
 			// CPU(s) is color-assignment (solver) time, matching the
 			// paper's column; division overhead is shared by all engines.
 			cell := report.Cell{Conflicts: res.Conflicts, Stitches: res.Stitches, CPU: res.SolverTime.Seconds()}
-			if a == mpl.ILP && !res.Proven {
+			if s.engine == "" && s.alg == mpl.ILP && !res.Proven {
 				cell.NA = true
 				cell.CPU = ilpBudget.Seconds()
 			}
@@ -288,14 +341,13 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 // circuit, a timed graph build plus every requested engine, run strictly
 // sequentially so wall times do not contend with each other. With edits > 0
 // each circuit additionally replays that many ECO batches (first engine).
-func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, algsFlag string, workers, buildWorkers, edits int, outPath, label string) {
+func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, edits int, outPath, label string) {
 	start := time.Now()
 	if outPath == "auto" {
 		outPath = benchrec.DefaultFilename(start)
 	}
-	algs := algList(algsFlag, k)
-	if edits > 0 && algs[0] == mpl.ILP {
-		log.Fatal("-edits replay needs a deterministic engine first in -algs (its equivalence check cannot cover the wall-clock-budgeted ILP)")
+	if edits > 0 && !specs[0].deterministic() {
+		log.Fatal("-edits replay needs a deterministic engine first in the sweep (its equivalence check cannot cover the wall-clock-budgeted ILP or race modes)")
 	}
 	run := &benchrec.Run{
 		Timestamp:    start.UTC().Format(time.RFC3339),
@@ -321,32 +373,21 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		}
 		c := benchrec.CircuitOf(name, g.Stats)
 		var first *mpl.Result
-		for _, a := range algs {
-			res, err := mpl.DecomposeGraph(g, mpl.Options{
-				K:            k,
-				Algorithm:    a,
-				Seed:         seed,
-				ILPTimeLimit: ilpBudget,
-				Division:     division.Options{Workers: workers},
-			})
+		for _, s := range specs {
+			o := s.options(k, seed, ilpBudget, workers, buildWorkers)
+			o.Build = mpl.BuildOptions{} // graph already built above
+			res, err := mpl.DecomposeGraph(g, o)
 			if err != nil {
-				log.Fatalf("%s/%v: %v", name, a, err)
+				log.Fatalf("%s/%s: %v", name, s.label, err)
 			}
 			if first == nil {
 				first = res
 			}
-			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(a.String(), res))
+			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(s.label, res))
 		}
 		if edits > 0 {
-			opts := mpl.Options{
-				K:            k,
-				Algorithm:    algs[0],
-				Seed:         seed,
-				ILPTimeLimit: ilpBudget,
-				Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
-				Division:     division.Options{Workers: workers},
-			}
-			er, err := runEditReplay(name, l, first, opts, edits)
+			opts := specs[0].options(k, seed, ilpBudget, workers, buildWorkers)
+			er, err := runEditReplay(name, l, first, opts, specs[0].label, edits)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -361,15 +402,15 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d circuits, %d engines, total %.1fs)\n",
-		outPath, len(run.Circuits), len(algs), time.Since(start).Seconds())
+		outPath, len(run.Circuits), len(specs), time.Since(start).Seconds())
 }
 
 // runEditReplay chains deterministic random edit batches over one circuit,
 // timing the incremental ApplyEdits path against a full from-scratch
 // re-decomposition of the identical post-edit layout, and fails hard if the
 // two disagree — the recorded speedups double as equivalence evidence.
-func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Options, batches int) (*benchrec.EditReplay, error) {
-	er := &benchrec.EditReplay{Algorithm: opts.Algorithm.String()}
+func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Options, label string, batches int) (*benchrec.EditReplay, error) {
+	er := &benchrec.EditReplay{Algorithm: label}
 	rng := rand.New(rand.NewSource(int64(len(name)*7919) + int64(name[0])))
 	curL, curRes := l, start
 	for b := 0; b < batches; b++ {
@@ -385,6 +426,12 @@ func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Optio
 		fullMs := benchrec.Ms(time.Since(t1))
 		if err != nil {
 			return nil, fmt.Errorf("%s batch %d (from scratch): %w", name, b, err)
+		}
+		if opts.Engine == mpl.EngineAuto && (!incRes.Proven || !fullRes.Proven) {
+			// Auto is only deterministic while its ILP tier stays inside the
+			// wall-clock budget; a truncated run would turn the equivalence
+			// check into a coin flip, so fail it with the actual cause.
+			return nil, fmt.Errorf("%s batch %d: the auto replay hit the ILP budget (unproven result); raise -ilp-budget so the equivalence check stays meaningful", name, b)
 		}
 		if incRes.Conflicts != fullRes.Conflicts || incRes.Stitches != fullRes.Stitches {
 			return nil, fmt.Errorf("%s batch %d: EQUIVALENCE VIOLATION — incremental %d/%d, from-scratch %d/%d",

@@ -59,9 +59,17 @@ type processJSON struct {
 // decomposeRequest is the body of POST /v1/decompose (and one element of a
 // batch request).
 type decomposeRequest struct {
-	Name         string     `json:"name,omitempty"`
-	K            int        `json:"k,omitempty"`         // default 4
-	Algorithm    string     `json:"algorithm,omitempty"` // ilp, sdp-backtrack, sdp-greedy, linear
+	Name      string `json:"name,omitempty"`
+	K         int    `json:"k,omitempty"`         // default 4
+	Algorithm string `json:"algorithm,omitempty"` // ilp, sdp-backtrack, sdp-greedy, linear
+	// Engine selects the adaptive per-component policy: "auto" (pick an
+	// engine per component from its structure) or "race" (run two
+	// candidates concurrently, keep the better). Empty applies Algorithm
+	// uniformly. Auto/race ignore Algorithm.
+	Engine string `json:"engine,omitempty"`
+	// RaceBudgetMs bounds each component's race (engine "race" only);
+	// 0 means the server default (2000 ms), capped by the request deadline.
+	RaceBudgetMs int64      `json:"race_budget_ms,omitempty"`
 	Alpha        float64    `json:"alpha,omitempty"`
 	Seed         int64      `json:"seed,omitempty"`
 	Workers      int        `json:"workers,omitempty"`       // per-request component workers
@@ -72,16 +80,21 @@ type decomposeRequest struct {
 }
 
 type decomposeResponse struct {
-	Name      string  `json:"name,omitempty"`
-	K         int     `json:"k"`
-	Algorithm string  `json:"algorithm"`
-	Fragments int     `json:"fragments"`
-	Conflicts int     `json:"conflicts"`
-	Stitches  int     `json:"stitches"`
-	Proven    bool    `json:"proven"`
-	Degraded  int     `json:"degraded"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsed_ms"`
+	Name      string `json:"name,omitempty"`
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm"`
+	// Engine echoes the requested policy ("auto"/"race"; absent for fixed),
+	// and Engines is this solve's per-engine dispatch histogram (engine
+	// name → pieces colored; absent on cache hits — nothing was solved).
+	Engine    string         `json:"engine,omitempty"`
+	Engines   map[string]int `json:"engines,omitempty"`
+	Fragments int            `json:"fragments"`
+	Conflicts int            `json:"conflicts"`
+	Stitches  int            `json:"stitches"`
+	Proven    bool           `json:"proven"`
+	Degraded  int            `json:"degraded"`
+	Cached    bool           `json:"cached"`
+	ElapsedMs float64        `json:"elapsed_ms"`
 	// LayoutHash identifies the decomposed geometry; it is the session key
 	// for POST /v1/decompose/incremental.
 	LayoutHash  string           `json:"layout_hash,omitempty"`
@@ -108,6 +121,8 @@ type incrementalRequest struct {
 	Edits        []editJSON `json:"edits"`
 	K            int        `json:"k,omitempty"`
 	Algorithm    string     `json:"algorithm,omitempty"`
+	Engine       string     `json:"engine,omitempty"`
+	RaceBudgetMs int64      `json:"race_budget_ms,omitempty"`
 	Alpha        float64    `json:"alpha,omitempty"`
 	Seed         int64      `json:"seed,omitempty"`
 	Workers      int        `json:"workers,omitempty"`
@@ -254,7 +269,7 @@ const maxK = 16
 // relative to solves, so sustained overlap is rare); operators running high
 // request concurrency on narrow machines should lower -build-workers (see
 // docs/API.md).
-func (s *server) resolveOptions(k int, algName string, alpha float64, seed int64, workers, buildWorkers int) (core.Options, error) {
+func (s *server) resolveOptions(k int, algName, engine string, raceBudgetMs int64, alpha float64, seed int64, workers, buildWorkers int) (core.Options, error) {
 	if k < 0 || k > maxK {
 		return core.Options{}, fmt.Errorf("k must be in [2, %d] (or 0 for the default 4), got %d", maxK, k)
 	}
@@ -274,13 +289,29 @@ func (s *server) resolveOptions(k int, algName string, alpha float64, seed int64
 	if err != nil {
 		return core.Options{}, err
 	}
+	eng, err := core.ParseEngine(engine)
+	if err != nil {
+		return core.Options{}, err
+	}
+	if raceBudgetMs < 0 {
+		return core.Options{}, fmt.Errorf("race_budget_ms must be >= 0, got %d", raceBudgetMs)
+	}
+	var raceBudget time.Duration
+	if raceBudgetMs > 0 {
+		if eng != core.EngineRace {
+			return core.Options{}, fmt.Errorf("race_budget_ms requires engine \"race\"")
+		}
+		raceBudget = time.Duration(raceBudgetMs) * time.Millisecond
+	}
 	return core.Options{
-		K:         k,
-		Algorithm: alg,
-		Alpha:     alpha,
-		Seed:      seed,
-		Build:     core.BuildOptions{Workers: buildWorkers},
-		Division:  division.Options{Workers: workers},
+		K:          k,
+		Algorithm:  alg,
+		Engine:     eng,
+		RaceBudget: raceBudget,
+		Alpha:      alpha,
+		Seed:       seed,
+		Build:      core.BuildOptions{Workers: buildWorkers},
+		Division:   division.Options{Workers: workers},
 	}, nil
 }
 
@@ -302,7 +333,7 @@ func (s *server) requestCtx(ctx context.Context, timeoutMs int64) (context.Conte
 
 // decomposeOne converts one wire request into a service call.
 func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decomposeResponse, error) {
-	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
 	if err != nil {
 		return decomposeResponse{}, err
 	}
@@ -322,6 +353,7 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 		Name:       req.Name,
 		K:          res.K,
 		Algorithm:  opts.Algorithm.String(),
+		Engine:     opts.Engine,
 		Fragments:  len(res.Graph.Fragments),
 		Conflicts:  res.Conflicts,
 		Stitches:   res.Stitches,
@@ -330,6 +362,9 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 		Cached:     cached,
 		ElapsedMs:  float64(time.Since(t0).Microseconds()) / 1000,
 		LayoutHash: lh,
+	}
+	if !cached {
+		resp.Engines = res.DivisionStats.Engines
 	}
 	if req.IncludeMasks {
 		resp.Masks = masksToJSON(res)
@@ -354,7 +389,7 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty edit batch")
 		return
 	}
-	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -384,6 +419,7 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 		Name:       req.Name,
 		K:          res.K,
 		Algorithm:  opts.Algorithm.String(),
+		Engine:     opts.Engine,
 		Fragments:  len(res.Graph.Fragments),
 		Conflicts:  res.Conflicts,
 		Stitches:   res.Stitches,
@@ -392,6 +428,9 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 		Cached:     cached,
 		ElapsedMs:  float64(time.Since(t0).Microseconds()) / 1000,
 		LayoutHash: newHash,
+	}
+	if !cached {
+		resp.Engines = res.DivisionStats.Engines
 	}
 	if estats != nil {
 		resp.Incremental = &incrementalJSON{
@@ -482,6 +521,10 @@ func masksToJSON(res *core.Result) [][]rectJSON {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.StatsSnapshot()
+	engines := st.Engines
+	if engines == nil {
+		engines = map[string]uint64{} // serialize as {}, not null
+	}
 	writeJSON(w, map[string]any{
 		"cache_hits":         st.Hits,
 		"cache_misses":       st.Misses,
@@ -490,6 +533,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"graph_hits":         st.GraphHits,
 		"incremental_solves": st.Incremental,
 		"sessions":           st.Sessions,
+		"engines":            engines,
 	})
 }
 

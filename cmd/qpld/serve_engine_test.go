@@ -1,0 +1,112 @@
+package main
+
+// HTTP-level tests for the adaptive engine policies: the request field, the
+// response echo + per-solve histogram, validation, and the /v1/stats
+// aggregate engine histogram.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// gridRequest is an n×n contact grid at 50 nm pitch: interior contacts keep
+// conflict degree ≥ K after peeling, so pieces actually reach the solver
+// and the response carries a real dispatch histogram (a plain row would
+// peel away entirely and legitimately report none).
+func gridRequest(name string, n int) decomposeRequest {
+	var features [][]rectJSON
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			features = append(features, []rectJSON{{c * 50, r * 50, c*50 + 20, r*50 + 20}})
+		}
+	}
+	return decomposeRequest{Name: name, K: 4, Layout: layoutJSON{Features: features}}
+}
+
+func TestServeEngineAuto(t *testing.T) {
+	ts := testServer(t)
+	req := gridRequest("auto-grid", 4)
+	req.Engine = "auto"
+
+	var resp decomposeResponse
+	if r := postJSON(t, ts.URL+"/v1/decompose", req, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if resp.Engine != "auto" {
+		t.Fatalf("engine echo = %q, want auto", resp.Engine)
+	}
+	if len(resp.Engines) == 0 {
+		t.Fatalf("executed auto solve must report its dispatch histogram: %+v", resp)
+	}
+	if resp.Cached {
+		t.Fatal("first solve cannot be cached")
+	}
+
+	// The identical request hits the cache; a cached answer solved nothing,
+	// so it carries no fresh histogram.
+	var resp2 decomposeResponse
+	postJSON(t, ts.URL+"/v1/decompose", req, &resp2)
+	if !resp2.Cached {
+		t.Fatal("identical auto request must be served from cache")
+	}
+	if len(resp2.Engines) != 0 {
+		t.Fatalf("cached response must omit the histogram, got %v", resp2.Engines)
+	}
+	if resp2.Conflicts != resp.Conflicts || resp2.Stitches != resp.Stitches {
+		t.Fatalf("cached auto result differs: %d/%d vs %d/%d", resp2.Conflicts, resp2.Stitches, resp.Conflicts, resp.Stitches)
+	}
+
+	// /v1/stats aggregates the executed solve's histogram.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats struct {
+		Engines map[string]uint64 `json:"engines"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Engines) == 0 {
+		t.Fatal("/v1/stats engines histogram is empty after an executed solve")
+	}
+	sum := uint64(0)
+	for name, n := range resp.Engines {
+		if stats.Engines[name] < uint64(n) {
+			t.Fatalf("stats histogram %v does not cover the solve's %v", stats.Engines, resp.Engines)
+		}
+		sum += uint64(n)
+	}
+	if sum == 0 {
+		t.Fatal("solve histogram sums to zero")
+	}
+}
+
+func TestServeEngineValidation(t *testing.T) {
+	ts := testServer(t)
+
+	bad := rowRequest("bad-engine", 4)
+	bad.Engine = "bogus"
+	if r := postJSON(t, ts.URL+"/v1/decompose", bad, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d, want 400", r.StatusCode)
+	}
+
+	budget := rowRequest("budget-no-race", 4)
+	budget.RaceBudgetMs = 50
+	if r := postJSON(t, ts.URL+"/v1/decompose", budget, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("race_budget_ms without race engine: status %d, want 400", r.StatusCode)
+	}
+
+	race := gridRequest("race-grid", 4)
+	race.Engine = "race"
+	race.RaceBudgetMs = 500
+	var resp decomposeResponse
+	if r := postJSON(t, ts.URL+"/v1/decompose", race, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("race request: status %d", r.StatusCode)
+	}
+	if resp.Engine != "race" || len(resp.Engines) == 0 {
+		t.Fatalf("race response incomplete: %+v", resp)
+	}
+}

@@ -1,0 +1,52 @@
+package benchrec
+
+import "testing"
+
+func run(circuits ...Circuit) *Run { return &Run{Circuits: circuits} }
+
+func circuit(name string, algs ...AlgorithmRun) Circuit {
+	return Circuit{Name: name, Algorithms: algs}
+}
+
+func alg(name string, cn, st int) AlgorithmRun {
+	return AlgorithmRun{Algorithm: name, Conflicts: cn, Stitches: st}
+}
+
+func TestCompareFlagsQualityMovement(t *testing.T) {
+	base := run(
+		circuit("C432", alg("auto", 2, 18), alg("Linear", 2, 18)),
+		circuit("C499", alg("auto", 1, 20)),
+		circuit("GONE", alg("auto", 0, 0)),
+	)
+	cur := run(
+		circuit("C432", alg("auto", 2, 19), alg("Linear", 1, 30)), // worse st / better cn
+		circuit("C499", alg("auto", 1, 20), alg("race", 1, 22)),   // unchanged; race only in current
+	)
+	deltas := Compare(base, cur)
+	if len(deltas) != 3 {
+		t.Fatalf("expected 3 matched pairs, got %d: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Circuit+"/"+d.Algorithm] = d
+	}
+	if d := byKey["C432/auto"]; !d.Worse || d.Improved {
+		t.Errorf("C432/auto (2,18)->(2,19) must be Worse: %+v", d)
+	}
+	if d := byKey["C432/Linear"]; d.Worse || !d.Improved {
+		// Conflicts dominate stitches in the paper's ranking.
+		t.Errorf("C432/Linear (2,18)->(1,30) must be Improved: %+v", d)
+	}
+	if d := byKey["C499/auto"]; d.Worse || d.Improved {
+		t.Errorf("C499/auto unchanged must have neither flag: %+v", d)
+	}
+	if regs := Regressions(deltas); len(regs) != 1 || regs[0].Circuit != "C432" || regs[0].Algorithm != "auto" {
+		t.Errorf("Regressions must be exactly C432/auto: %+v", regs)
+	}
+}
+
+func TestCompareEmptyRuns(t *testing.T) {
+	if deltas := Compare(run(), run()); len(deltas) != 0 {
+		t.Fatalf("empty runs must compare empty, got %+v", deltas)
+	}
+}

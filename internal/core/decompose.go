@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"mpl/internal/geom"
 	"mpl/internal/graph"
 	"mpl/internal/layout"
+	"mpl/internal/portfolio"
 	"mpl/internal/sdp"
 	"mpl/internal/spatial"
 )
@@ -46,6 +48,30 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// Engine values: the per-component engine policy of Options.Engine. The
+// empty string keeps the classic behavior — Options.Algorithm applied
+// uniformly to every component.
+const (
+	// EngineFixed applies Options.Algorithm to every component.
+	EngineFixed = ""
+	// EngineAuto selects an engine per component from its structure
+	// (internal/portfolio thresholds over size, density, odd cycles).
+	EngineAuto = "auto"
+	// EngineRace runs two candidate engines per component concurrently
+	// under Options.RaceBudget, keeping the provably-optimal or better
+	// result and cancelling the loser.
+	EngineRace = "race"
+)
+
+// ParseEngine validates an engine policy name ("", "auto" or "race").
+func ParseEngine(s string) (string, error) {
+	switch s {
+	case EngineFixed, EngineAuto, EngineRace:
+		return s, nil
+	}
+	return "", fmt.Errorf("core: unknown engine %q (want \"auto\", \"race\" or empty for fixed)", s)
+}
+
 // ParseAlgorithm maps a command-line name to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch s {
@@ -66,8 +92,22 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 type Options struct {
 	// K is the number of masks; 0 means 4 (quadruple patterning).
 	K int
-	// Algorithm picks the color-assignment engine.
+	// Algorithm picks the color-assignment engine applied to every
+	// component when Engine is empty (the fixed policy).
 	Algorithm Algorithm
+	// Engine selects the per-component engine policy: EngineFixed (""),
+	// EngineAuto or EngineRace. Auto and race ignore Algorithm and pick
+	// engines per component (internal/portfolio).
+	Engine string
+	// Portfolio tunes the auto/race selection thresholds; the zero value
+	// uses the BENCH-calibrated defaults. Ignored when Engine is fixed.
+	Portfolio portfolio.Thresholds
+	// RaceBudget is the shared per-component deadline of EngineRace: both
+	// racers run under one child context bounded by it, so a component can
+	// never hold the race longer than this even when the request context
+	// has a distant deadline. 0 means 2s; negative disables the bound
+	// (the request context still applies).
+	RaceBudget time.Duration
 	// Alpha is the stitch weight; 0 means 0.1.
 	Alpha float64
 	// Threshold is Algorithm 1's merge threshold t_th; 0 means 0.9.
@@ -111,6 +151,26 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ILPTimeLimit == 0 {
 		o.ILPTimeLimit = 60 * time.Second
+	}
+	// Engine-policy fields normalize to what the run actually reads, so
+	// two spellings of the same run compare — and cache/session-key —
+	// equal: a fixed-engine run reads neither portfolio field, auto reads
+	// only the thresholds, only race reads the budget, and neither
+	// adaptive policy ever reads Algorithm.
+	switch o.Engine {
+	case EngineFixed:
+		o.Portfolio = portfolio.Thresholds{}
+		o.RaceBudget = 0
+	case EngineAuto:
+		o.Algorithm = 0
+		o.Portfolio = o.Portfolio.WithDefaults()
+		o.RaceBudget = 0
+	default:
+		o.Algorithm = 0
+		o.Portfolio = o.Portfolio.WithDefaults()
+		if o.RaceBudget == 0 {
+			o.RaceBudget = 2 * time.Second
+		}
 	}
 	o.Build.K = o.K
 	o.Division.K = o.K
@@ -208,9 +268,13 @@ func DecomposeGraph(dg *Graph, opts Options) (*Result, error) {
 // DecomposeGraphContext is DecomposeGraph with the cancellation semantics
 // of DecomposeContext.
 func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Result, error) {
+	if _, err := ParseEngine(opts.Engine); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	var unproven atomic.Bool
-	inner := makeSolver(ctx, opts, &unproven)
+	tally := newEngineTally()
+	inner := makeSolver(ctx, opts, &unproven, tally)
 	var solverNanos atomic.Int64
 	solver := func(g *graph.Graph) []int {
 		t0 := time.Now()
@@ -222,6 +286,7 @@ func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Resul
 	start := time.Now()
 	colors, stats := division.DecomposeContext(ctx, dg.G, opts.Division, solver)
 	elapsed := time.Since(start)
+	tally.drainInto(&stats)
 
 	if err := coloring.Validate(dg.G, colors, opts.K); err != nil {
 		return nil, fmt.Errorf("core: internal error: %w", err)
@@ -243,24 +308,55 @@ func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Resul
 	}, nil
 }
 
-// makeSolver builds the per-component engine. The unproven flag is set
-// when any component's exact search is cut short (node limit, time budget,
-// or ctx cancellation mid-solve). Engines are safe for concurrent calls
-// (division's Workers mode).
-func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool) division.Solver {
-	switch opts.Algorithm {
-	case AlgLinear:
+// engineTally accumulates the per-engine dispatch histogram while division
+// workers run the solver concurrently; drainInto publishes it to
+// division.Stats.Engines once the pipeline has finished.
+type engineTally struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newEngineTally() *engineTally { return &engineTally{m: make(map[string]int)} }
+
+func (t *engineTally) add(name string) {
+	t.mu.Lock()
+	t.m[name]++
+	t.mu.Unlock()
+}
+
+func (t *engineTally) drainInto(st *division.Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, n := range t.m {
+		st.AddEngine(name, n)
+	}
+}
+
+// classSolver builds the context-aware solver for one portfolio engine
+// class. The unproven flag is set when this engine's exact search is cut
+// short (node limit, time budget, or ctx cancellation mid-solve); callers
+// racing engines pass per-racer flags so a cancelled loser cannot taint the
+// winner's provenness. fellBack (nil-safe) is set when the piece was not
+// colored by the class at all — the ILP budget was already spent and the
+// linear fallback answered — so dispatchers can attribute the piece to
+// "fallback" instead of overstating the exact engine in the histogram.
+// ilpDeadline is the run-global ILP budget expiry, shared across
+// components like the classic AlgILP path. Solvers are safe for concurrent
+// calls (division's Workers mode).
+func classSolver(class portfolio.Class, opts Options, unproven *atomic.Bool, fellBack *atomic.Bool, ilpDeadline time.Time) portfolio.Solver {
+	switch class {
+	case portfolio.Linear:
 		lin := opts.Linear
-		return func(g *graph.Graph) []int {
+		return func(_ context.Context, g *graph.Graph) []int {
 			return coloring.Linear(g, lin)
 		}
-	case AlgSDPGreedy:
-		return func(g *graph.Graph) []int {
+	case portfolio.SDPGreedy:
+		return func(ctx context.Context, g *graph.Graph) []int {
 			sol := solveSDP(ctx, g, opts)
 			return coloring.SDPGreedy(g, sol, opts.K, opts.Alpha)
 		}
-	case AlgSDPBacktrack:
-		return func(g *graph.Graph) []int {
+	case portfolio.SDPBacktrack:
+		return func(ctx context.Context, g *graph.Graph) []int {
 			sol := solveSDP(ctx, g, opts)
 			colors, ok := coloring.SDPBacktrackContext(ctx, g, sol, opts.K, opts.Alpha, opts.Threshold, opts.BacktrackNodeLimit)
 			if !ok {
@@ -268,12 +364,14 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool) divisi
 			}
 			return colors
 		}
-	case AlgILP:
-		deadline := time.Now().Add(opts.ILPTimeLimit)
-		return func(g *graph.Graph) []int {
-			remaining := time.Until(deadline)
+	case portfolio.ILP:
+		return func(ctx context.Context, g *graph.Graph) []int {
+			remaining := time.Until(ilpDeadline)
 			if remaining <= 0 {
 				unproven.Store(true)
+				if fellBack != nil {
+					fellBack.Store(true)
+				}
 				// Budget exhausted: greedy fallback keeps the run going so
 				// the harness can still report a (non-optimal) solution.
 				return coloring.Linear(g, opts.Linear)
@@ -285,7 +383,85 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool) divisi
 			return res.Colors
 		}
 	default:
-		panic(fmt.Sprintf("core: unknown algorithm %v", opts.Algorithm))
+		panic(fmt.Sprintf("core: unknown engine class %v", class))
+	}
+}
+
+// classOf maps the classic Algorithm enum to its portfolio class.
+func classOf(a Algorithm) portfolio.Class {
+	switch a {
+	case AlgILP:
+		return portfolio.ILP
+	case AlgSDPBacktrack:
+		return portfolio.SDPBacktrack
+	case AlgSDPGreedy:
+		return portfolio.SDPGreedy
+	case AlgLinear:
+		return portfolio.Linear
+	}
+	panic(fmt.Sprintf("core: unknown algorithm %v", a))
+}
+
+// engineLabel is the histogram bucket of one dispatched piece: the engine
+// class that colored it, or "fallback" when the class never ran (the ILP
+// budget was already spent and the linear fallback answered) — the same
+// bucket division's cancellation path uses, per docs/API.md.
+func engineLabel(class portfolio.Class, fellBack bool) string {
+	if fellBack {
+		return "fallback"
+	}
+	return class.String()
+}
+
+// makeSolver builds the per-component solve function the division pipeline
+// calls: the fixed Options.Algorithm engine, or the adaptive auto/race
+// portfolio dispatcher when Options.Engine is set. The unproven flag is set
+// when the kept result's exact search was cut short (node limit, time
+// budget, or ctx cancellation mid-solve) — in race mode a cancelled loser
+// does not taint it. Every dispatch is tallied per engine name into tally,
+// with budget-fallback pieces attributed to "fallback", not their class.
+func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally *engineTally) division.Solver {
+	ilpDeadline := time.Now().Add(opts.ILPTimeLimit)
+	switch opts.Engine {
+	case EngineAuto:
+		return func(g *graph.Graph) []int {
+			// fell tracks, per class, whether the selected engine actually
+			// ran or the spent ILP budget made the linear fallback answer.
+			var fell [portfolio.NumClasses]atomic.Bool
+			var engines [portfolio.NumClasses]portfolio.Solver
+			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
+				engines[c] = classSolver(c, opts, unproven, &fell[c], ilpDeadline)
+			}
+			colors, out := portfolio.Auto(ctx, g, opts.Portfolio, opts.K, engines)
+			tally.add(engineLabel(out.Winner, fell[out.Winner].Load()))
+			return colors
+		}
+	case EngineRace:
+		return func(g *graph.Graph) []int {
+			// Per-racer provenness: only the winner's truncation (or a
+			// budget expiry it survived on quality) may mark the result
+			// unproven; a cancelled loser's is irrelevant. fell tracks,
+			// per racer, whether the class actually ran or the spent ILP
+			// budget made the linear fallback answer in its place.
+			var flags, fell [portfolio.NumClasses]atomic.Bool
+			var engines [portfolio.NumClasses]portfolio.Solver
+			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
+				engines[c] = classSolver(c, opts, &flags[c], &fell[c], ilpDeadline)
+			}
+			colors, out := portfolio.Race(ctx, g, opts.Portfolio, opts.K, opts.Alpha, opts.RaceBudget, engines)
+			if !out.ProvenOptimal && flags[out.Winner].Load() {
+				unproven.Store(true)
+			}
+			tally.add(engineLabel(out.Winner, fell[out.Winner].Load()))
+			return colors
+		}
+	}
+	class := classOf(opts.Algorithm)
+	return func(g *graph.Graph) []int {
+		var fell atomic.Bool
+		colors := classSolver(class, opts, unproven, &fell, ilpDeadline)(ctx, g)
+		tally.add(engineLabel(class, fell.Load()))
+		return colors
 	}
 }
 

@@ -212,6 +212,9 @@ func (p *editPlan) newLayout(l *layout.Layout) *layout.Layout {
 // instead of failing. A degraded incremental result is still a valid
 // coloring but no longer matches a from-scratch run.
 func ApplyEdits(ctx context.Context, l *layout.Layout, prev *Result, edits []Edit, opts Options) (*layout.Layout, *Result, *EditStats, error) {
+	if _, err := ParseEngine(opts.Engine); err != nil {
+		return nil, nil, nil, err
+	}
 	opts = opts.withDefaults()
 	if prev == nil || prev.Graph == nil {
 		return nil, nil, nil, fmt.Errorf("core: ApplyEdits needs the previous result")
@@ -597,7 +600,8 @@ func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts 
 	var dstats division.Stats
 	if len(dirty) > 0 {
 		sort.Ints(dirty)
-		inner := makeSolver(ctx, opts, &unproven)
+		tally := newEngineTally()
+		inner := makeSolver(ctx, opts, &unproven, tally)
 		solver := func(sg *graph.Graph) []int {
 			t := time.Now()
 			out := inner(sg)
@@ -609,6 +613,7 @@ func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts 
 		for i, v := range orig {
 			colors[v] = subColors[i]
 		}
+		tally.drainInto(&st)
 		dstats = st
 		es.ResolvedFragments = len(dirty)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"slices"
 	"testing"
+	"time"
 
 	"mpl/internal/geom"
 	"mpl/internal/layout"
@@ -94,5 +96,51 @@ func FuzzApplyEdits(f *testing.F) {
 			t.Fatal(err)
 		}
 		assertEquivalent(t, 4, inc, scratch)
+	})
+}
+
+// FuzzPortfolioAuto drives the adaptive auto policy over the same byte-
+// decoded edit-op layout space as FuzzApplyEdits: arbitrary edit batches
+// morph the base layout, and the portfolio must dispatch every resulting
+// component to *some* engine whose answer upholds the full solution
+// invariant set (validity, stitch structure, cn#/st# recounts, histogram
+// accounting) — and must be deterministic, since auto's selection is purely
+// structural and its engines are seeded.
+func FuzzPortfolioAuto(f *testing.F) {
+	f.Add([]byte{0, 2, 3, 1, 1})
+	f.Add([]byte{1, 7, 0, 0, 0})
+	f.Add([]byte{2, 16, 4, 252, 0})
+	f.Add([]byte{2, 0, 128, 127, 0, 1, 0, 0, 0, 0, 0, 200, 200, 2, 2})
+
+	base := fuzzBaseLayout()
+	// The thresholds bound the ILP tier by size and density, but a fuzzed
+	// edit can still assemble a small dense piece whose exact search is
+	// slow; the budget caps it (expiry degrades to the linear engine, which
+	// upholds the same invariants) and keeps every input fast.
+	opts := Options{K: 4, Engine: EngineAuto, Seed: 1, ILPTimeLimit: 2 * time.Second}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edits := decodeEdits(data, len(base.Features))
+		l, err := EditLayout(base, edits)
+		if err != nil {
+			t.Fatalf("decoded edits must be valid, got %v for %v", err, edits)
+		}
+		res, err := Decompose(l, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSolutionInvariants(t, "auto", len(l.Features), 4, res)
+		if !res.Proven {
+			// A truncated exact search (ILP budget) is wall-clock dependent;
+			// determinism is only promised for untruncated runs.
+			return
+		}
+		res2, err := Decompose(l, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Proven && !slices.Equal(res.Colors, res2.Colors) {
+			t.Fatal("auto policy is not deterministic on identical input")
+		}
 	})
 }

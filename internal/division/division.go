@@ -90,6 +90,23 @@ type Stats struct {
 	GHComponents int // pieces created by (K−1)-cut removal
 	SolverCalls  int // invocations of the underlying solver
 	Fallbacks    int // pieces colored by the linear fallback after cancellation
+
+	// Engines is the per-engine dispatch histogram: how many pieces each
+	// named engine colored. The pipeline itself records only "fallback"
+	// (the cancellation path of callSolver); the portfolio dispatcher in
+	// internal/core fills in the engine names it routed pieces to, so a
+	// fixed-engine run shows one bucket, an auto/race run shows the mix.
+	// Lazily allocated — a Stats with no dispatches has a nil map.
+	Engines map[string]int
+}
+
+// AddEngine accumulates n dispatches of the named engine into the
+// histogram, allocating it on first use.
+func (s *Stats) AddEngine(name string, n int) {
+	if s.Engines == nil {
+		s.Engines = make(map[string]int)
+	}
+	s.Engines[name] += n
 }
 
 // addWorker accumulates one worker's per-component counters into s.
@@ -104,6 +121,9 @@ func (s *Stats) addWorker(o Stats) {
 	s.GHComponents += o.GHComponents
 	s.SolverCalls += o.SolverCalls
 	s.Fallbacks += o.Fallbacks
+	for name, n := range o.Engines {
+		s.AddEngine(name, n)
+	}
 }
 
 // Decompose divides the graph, colors every piece with solve, and
@@ -177,6 +197,7 @@ func callSolver(ctx context.Context, g *graph.Graph, opts Options, solve Solver,
 	select {
 	case <-ctx.Done():
 		st.Fallbacks++
+		st.AddEngine("fallback", 1)
 		return coloring.Linear(g, opts.Linear)
 	default:
 		st.SolverCalls++

@@ -277,7 +277,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("trial %d: vertex %d: serial %d, parallel %d", trial, v, serial[v], par[v])
 			}
 		}
-		if sst != pst {
+		if !reflect.DeepEqual(sst, pst) {
 			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, sst, pst)
 		}
 	}
@@ -309,11 +309,21 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 	var src Stats
 	rv := reflect.ValueOf(&src).Elem()
 	for i := 0; i < rv.NumField(); i++ {
-		if rv.Field(i).Kind() == reflect.Int {
+		switch rv.Field(i).Kind() {
+		case reflect.Int:
 			rv.Field(i).SetInt(1)
+		case reflect.Map:
+			// Histogram fields (Engines): one probe bucket, count 1.
+			m := reflect.MakeMap(rv.Field(i).Type())
+			m.SetMapIndex(reflect.ValueOf("probe"), reflect.ValueOf(1))
+			rv.Field(i).Set(m)
+		default:
+			t.Fatalf("Stats field %s has kind %s; teach this test (and addWorker) how to merge it",
+				rv.Type().Field(i).Name, rv.Field(i).Kind())
 		}
 	}
 	var dst Stats
+	dst.addWorker(src)
 	dst.addWorker(src)
 	dv := reflect.ValueOf(dst)
 	for i := 0; i < dv.NumField(); i++ {
@@ -324,8 +334,16 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			}
 			continue
 		}
-		if dv.Field(i).Kind() == reflect.Int && dv.Field(i).Int() != 1 {
-			t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
+		switch dv.Field(i).Kind() {
+		case reflect.Int:
+			if dv.Field(i).Int() != 2 {
+				t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
+			}
+		case reflect.Map:
+			got := dv.Field(i).MapIndex(reflect.ValueOf("probe"))
+			if !got.IsValid() || got.Int() != 2 {
+				t.Errorf("Stats map field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
+			}
 		}
 	}
 }
@@ -352,7 +370,7 @@ func TestCancelledContextFallsBackToLinear(t *testing.T) {
 		t.Fatalf("expected all-fallback stats, got %+v", sst)
 	}
 	par, pst := DecomposeContext(ctx, g, Options{K: 4, Alpha: 0.1, DisablePeeling: true, Workers: 4}, engine)
-	if sst != pst {
+	if !reflect.DeepEqual(sst, pst) {
 		t.Fatalf("serial stats %+v != parallel stats %+v", sst, pst)
 	}
 	for v := range serial {

@@ -1,0 +1,320 @@
+// Package portfolio implements adaptive per-component engine selection for
+// the color-assignment stage. The paper's hybrid flow (SDP relaxation with
+// an LP speedup, backtracking, exact ILP on small hard components) already
+// implies that no single engine is right for every connected component: the
+// exact ILP is unbeatable on the small dense cores the division pipeline
+// isolates but ages exponentially with component size, while the SDP
+// engines and the linear heuristic trade quality for orders of magnitude in
+// wall time (see the recorded BENCH trajectory, EXPERIMENTS.md).
+//
+// The package offers two policies over a set of candidate engines:
+//
+//   - auto — inspect the component's structure (vertex count, conflict
+//     density, odd-cycle evidence, K) and dispatch it to the engine the
+//     thresholds predict is the cheapest one achieving reference quality;
+//   - race — run two candidate engines concurrently under one shared
+//     deadline budget, keep the first result whose cost is provably optimal
+//     (cost 0: no conflicts, no stitches — the objective's lower bound), or
+//     the better of the two once both finish or the budget expires, and
+//     cancel the loser through the usual context plumbing.
+//
+// Engines are supplied by the caller as context-aware solve functions, so
+// the package stays free of solver dependencies and the division pipeline
+// stays solver-agnostic. Thresholds are exported and comparable so they can
+// ride inside cache keys and options-equality checks.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mpl/internal/coloring"
+	"mpl/internal/graph"
+)
+
+// Class identifies one candidate engine, in ascending quality-per-cost
+// order: Linear is the cheapest, ILP the reference-quality exact baseline.
+type Class int
+
+// The four engine classes of the paper's Tables 1–2.
+const (
+	Linear Class = iota
+	SDPGreedy
+	SDPBacktrack
+	ILP
+	// NumClasses sizes engine tables indexed by Class.
+	NumClasses
+)
+
+// String returns the trajectory/report label of the class.
+func (c Class) String() string {
+	switch c {
+	case Linear:
+		return "Linear"
+	case SDPGreedy:
+		return "SDP+Greedy"
+	case SDPBacktrack:
+		return "SDP+Backtrack"
+	case ILP:
+		return "ILP"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Solver colors one connected component, honoring ctx cooperatively: on
+// cancellation it returns its incumbent (a complete, valid coloring) rather
+// than blocking — the contract every engine in this repository obeys.
+type Solver func(ctx context.Context, g *graph.Graph) []int
+
+// Profile captures the component structure the selection thresholds read.
+type Profile struct {
+	// N is the vertex (fragment) count.
+	N int
+	// ConflictEdges and StitchEdges are the component's |CE| and |SE|.
+	ConflictEdges int
+	StitchEdges   int
+	// Density is 2·|CE| / (N·(N−1)), in [0, 1]; 0 for N < 2.
+	Density float64
+	// OddEdges counts conflict edges whose endpoints land in the same part
+	// of a BFS 2-coloring — each one closes an odd cycle, the structures
+	// that make K-coloring hard. Zero means the conflict graph is
+	// bipartite (2-colorable, so conflicts are always avoidable).
+	OddEdges int
+	// MaxConflictDegree is the largest conflict degree in the component.
+	MaxConflictDegree int
+}
+
+// Analyze profiles one component in O(N + E).
+func Analyze(g *graph.Graph) Profile {
+	n := g.N()
+	p := Profile{N: n, ConflictEdges: g.ConflictEdgeCount(), StitchEdges: g.StitchEdgeCount()}
+	if n > 1 {
+		p.Density = 2 * float64(p.ConflictEdges) / (float64(n) * float64(n-1))
+	}
+	// BFS 2-coloring of the conflict graph; same-side edges witness odd
+	// cycles. The count is deterministic for a given adjacency (BFS from
+	// ascending roots over canonical sorted adjacency).
+	side := make([]int8, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if side[s] != 0 {
+			continue
+		}
+		side[s] = 1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if d := g.ConflictDegree(u); d > p.MaxConflictDegree {
+				p.MaxConflictDegree = d
+			}
+			for _, w := range g.ConflictNeighbors(u) {
+				wi := int(w)
+				if side[wi] == 0 {
+					side[wi] = -side[u]
+					queue = append(queue, wi)
+				} else if side[wi] == side[u] && wi > u {
+					p.OddEdges++ // counted once per undirected edge
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Thresholds are the auto-mode decision boundaries. The zero value selects
+// the defaults calibrated on the recorded BENCH trajectory (DESIGN.md
+// §"Engine selection & racing"); all fields are comparable ints so a
+// Thresholds can sit inside cache keys and options-equality checks.
+type Thresholds struct {
+	// ILPMaxN is the largest component (vertices) routed to the exact ILP.
+	// Below it the branch-and-bound proves optimality in microseconds to
+	// low milliseconds; past it the exact search ages exponentially
+	// (BENCH: the C1355 core at 20 vertices / 56 conflict edges alone
+	// costs ~3.4 s, versus ~25 ms for the 16-vertex / 43-edge cores of
+	// the other committed circuits). 0 means the calibrated default;
+	// negative disables the ILP tier.
+	ILPMaxN int
+	// ILPMaxM caps the conflict-edge count for the ILP tier — a second
+	// guard because dense king-graph patches blow up the model size long
+	// before the vertex bound does. 0 means the calibrated default.
+	ILPMaxM int
+	// BacktrackMaxN is the largest component routed to SDP+Backtrack;
+	// larger bipartite-ish components go to SDP+Greedy and anything past
+	// GreedyMaxN to the linear-time engine. 0 means the default.
+	BacktrackMaxN int
+	// GreedyMaxN is the largest component routed to SDP+Greedy. 0 means
+	// the default.
+	GreedyMaxN int
+}
+
+// Calibrated defaults: see DESIGN.md §"Engine selection & racing" for the
+// BENCH-trajectory derivation.
+const (
+	defaultILPMaxN       = 16
+	defaultILPMaxM       = 48
+	defaultBacktrackMaxN = 3000
+	defaultGreedyMaxN    = 20000
+)
+
+// WithDefaults resolves zero fields to the calibrated defaults.
+func (t Thresholds) WithDefaults() Thresholds {
+	if t.ILPMaxN == 0 {
+		t.ILPMaxN = defaultILPMaxN
+	}
+	if t.ILPMaxM == 0 {
+		t.ILPMaxM = defaultILPMaxM
+	}
+	if t.BacktrackMaxN == 0 {
+		t.BacktrackMaxN = defaultBacktrackMaxN
+	}
+	if t.GreedyMaxN == 0 {
+		t.GreedyMaxN = defaultGreedyMaxN
+	}
+	return t
+}
+
+// Select is the auto policy: the cheapest engine class the thresholds
+// predict will reach reference quality on a component shaped like p.
+//
+//   - Small hard components — ≤ ILPMaxN vertices, ≤ ILPMaxM conflict edges
+//     (the density guard: exact-search cost tracks edges as much as
+//     vertices), and at least one odd cycle — go to the exact ILP: optimal
+//     and cheap at this size, covering the K5 crosses and small macro
+//     cores that dominate the committed circuits' conflict counts.
+//   - A bipartite conflict graph (OddEdges == 0) skips the ILP tier: its
+//     conflicts are always avoidable and SDP+Backtrack reaches the
+//     conflict-free optimum in milliseconds, so only stitch ties remain —
+//     not worth the exact search in auto mode (race mode may still bet on
+//     ILP under budget, see RacePair).
+//   - Everything else up to BacktrackMaxN stays on SDP+Backtrack —
+//     odd-cycle-rich mid-size components are exactly where greedy SDP
+//     mapping degrades (Table 1).
+//   - Past BacktrackMaxN the backtrack search space is hopeless within any
+//     serving deadline: SDP+Greedy until GreedyMaxN, Linear beyond.
+func (t Thresholds) Select(p Profile, k int) Class {
+	t = t.WithDefaults()
+	if p.N <= t.ILPMaxN && p.ConflictEdges <= t.ILPMaxM && p.OddEdges > 0 && t.ILPMaxN > 0 {
+		return ILP
+	}
+	if p.N <= t.BacktrackMaxN {
+		return SDPBacktrack
+	}
+	if p.N <= t.GreedyMaxN {
+		return SDPGreedy
+	}
+	return Linear
+}
+
+// RacePair is the race policy: the primary is auto's Select choice (so a
+// race degenerates to auto whenever the secondary cannot beat it), the
+// secondary is the complementary bet:
+//
+//   - primary ILP races SDP+Backtrack — insurance against an exact search
+//     that overruns the budget (the backtrack incumbent is near-optimal);
+//   - primary SDP+Backtrack races the exact ILP while the component is
+//     within 3× of the ILP tier — the budget, not a size cliff, decides
+//     whether exactness was affordable;
+//   - everything larger races the linear-time engine, which guarantees a
+//     full-quality *completed* answer inside any budget the expensive
+//     primary might miss.
+func (t Thresholds) RacePair(p Profile, k int) (primary, secondary Class) {
+	t = t.WithDefaults()
+	primary = t.Select(p, k)
+	switch primary {
+	case ILP:
+		return ILP, SDPBacktrack
+	case SDPBacktrack:
+		if p.N <= 3*t.ILPMaxN && p.ConflictEdges <= 3*t.ILPMaxM {
+			return SDPBacktrack, ILP
+		}
+		return SDPBacktrack, Linear
+	default:
+		return primary, Linear
+	}
+}
+
+// Outcome reports how one auto or race dispatch went.
+type Outcome struct {
+	// Winner is the class whose coloring was kept.
+	Winner Class
+	// Raced reports whether a second engine actually ran.
+	Raced bool
+	// Loser is the cancelled/outscored class (valid only when Raced).
+	Loser Class
+	// ProvenOptimal reports the cost-0 early exit: the winner's coloring
+	// has no conflicts and no stitches, the objective's lower bound.
+	ProvenOptimal bool
+}
+
+// Auto profiles g, selects a class, and runs it.
+func Auto(ctx context.Context, g *graph.Graph, t Thresholds, k int, engines [NumClasses]Solver) ([]int, Outcome) {
+	class := t.Select(Analyze(g), k)
+	return engines[class](ctx, g), Outcome{Winner: class}
+}
+
+// Race profiles g, picks the candidate pair, and runs both concurrently
+// under the shared budget (a child context of ctx; 0 means no extra bound
+// beyond ctx itself). The first result with cost 0 wins immediately and the
+// loser is cancelled; otherwise both results are awaited — every engine
+// returns its incumbent promptly once the budget context expires — and the
+// better cost wins, ties going to the primary so that a race whose
+// secondary cannot strictly beat auto's choice returns byte-identical
+// colors to auto mode.
+func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float64, budget time.Duration, engines [NumClasses]Solver) ([]int, Outcome) {
+	primary, secondary := t.RacePair(Analyze(g), k)
+	if primary == secondary {
+		colors, out := engines[primary](ctx, g), Outcome{Winner: primary}
+		return colors, out
+	}
+	var rctx context.Context
+	var cancel context.CancelFunc
+	if budget > 0 {
+		rctx, cancel = context.WithTimeout(ctx, budget)
+	} else {
+		rctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	type attempt struct {
+		class  Class
+		colors []int
+		cost   float64
+	}
+	// Buffered: the loser's send never blocks, so a cancelled engine's
+	// goroutine always exits once it reaches its next checkpoint — the
+	// leak-freedom the race/cancellation tests pin down.
+	ch := make(chan attempt, 2)
+	run := func(c Class) {
+		colors := engines[c](rctx, g)
+		ch <- attempt{class: c, colors: colors, cost: coloring.Cost(g, colors, alpha)}
+	}
+	go run(primary)
+	go run(secondary)
+
+	first := <-ch
+	if first.cost == 0 {
+		// Provably optimal: cost has lower bound 0, nothing can beat it.
+		// Cancel the loser and return without waiting for it.
+		cancel()
+		return first.colors, Outcome{Winner: first.class, Raced: true, Loser: other(first.class, primary, secondary), ProvenOptimal: true}
+	}
+	second := <-ch
+
+	pri, sec := first, second
+	if pri.class != primary {
+		pri, sec = second, first
+	}
+	if sec.cost < pri.cost {
+		return sec.colors, Outcome{Winner: sec.class, Raced: true, Loser: pri.class, ProvenOptimal: false}
+	}
+	return pri.colors, Outcome{Winner: pri.class, Raced: true, Loser: sec.class, ProvenOptimal: false}
+}
+
+func other(c, a, b Class) Class {
+	if c == a {
+		return b
+	}
+	return a
+}

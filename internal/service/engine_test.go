@@ -1,0 +1,94 @@
+package service
+
+// Service-layer behavior of the adaptive engine policies: the cache must
+// key on Options.Engine (an auto result is not a fixed-algorithm result),
+// and executed solves must aggregate their per-engine dispatch histograms
+// into the service stats.
+
+import (
+	"context"
+	"testing"
+
+	"mpl/internal/core"
+)
+
+func TestEngineDistinguishesCacheKeys(t *testing.T) {
+	svc := New(Config{})
+	ctx := context.Background()
+	l := denseRow("engine-key", 12)
+
+	fixed := core.Options{K: 4, Algorithm: core.AlgSDPBacktrack}
+	auto := core.Options{K: 4, Algorithm: core.AlgSDPBacktrack, Engine: core.EngineAuto}
+
+	if _, cached, err := svc.Decompose(ctx, l, fixed); err != nil || cached {
+		t.Fatalf("first fixed solve: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := svc.Decompose(ctx, l, auto); err != nil || cached {
+		t.Fatalf("auto must not reuse the fixed-engine entry: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := svc.Decompose(ctx, l, auto); err != nil || !cached {
+		t.Fatalf("identical auto request must hit the cache: cached=%v err=%v", cached, err)
+	}
+	// Auto never reads Algorithm, so spellings differing only in that
+	// ignored field must share the entry (and the incremental session).
+	autoOtherAlg := core.Options{K: 4, Algorithm: core.AlgLinear, Engine: core.EngineAuto}
+	if _, cached, err := svc.Decompose(ctx, l, autoOtherAlg); err != nil || !cached {
+		t.Fatalf("auto with a different (ignored) Algorithm must still hit the cache: cached=%v err=%v", cached, err)
+	}
+	// Auto is deterministic, so cache-served and solved results agree.
+	r1, _, err := svc.Decompose(ctx, l, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Decompose(l, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Conflicts != r2.Conflicts || r1.Stitches != r2.Stitches {
+		t.Fatalf("cached auto result %d/%d differs from direct solve %d/%d", r1.Conflicts, r1.Stitches, r2.Conflicts, r2.Stitches)
+	}
+}
+
+func TestStatsAggregateEngineHistograms(t *testing.T) {
+	svc := New(Config{})
+	ctx := context.Background()
+
+	// Grids keep solver-reaching cores (rows peel away and would solve
+	// nothing); two sizes so the two probes miss independently.
+	if _, _, err := svc.Decompose(ctx, denseGrid(4), core.Options{K: 4, Engine: core.EngineAuto}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Decompose(ctx, denseGrid(5), core.Options{K: 4, Algorithm: core.AlgLinear}); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.StatsSnapshot()
+	if len(st.Engines) == 0 {
+		t.Fatal("no engine histogram after two executed solves")
+	}
+	if st.Engines[core.AlgLinear.String()] == 0 {
+		t.Fatalf("fixed Linear solve missing from histogram: %v", st.Engines)
+	}
+	total := uint64(0)
+	for _, n := range st.Engines {
+		total += n
+	}
+
+	// A cache hit solves nothing and must not move the histogram.
+	if _, cached, err := svc.Decompose(ctx, denseGrid(5), core.Options{K: 4, Algorithm: core.AlgLinear}); err != nil || !cached {
+		t.Fatalf("expected cache hit, cached=%v err=%v", cached, err)
+	}
+	st2 := svc.StatsSnapshot()
+	total2 := uint64(0)
+	for _, n := range st2.Engines {
+		total2 += n
+	}
+	if total2 != total {
+		t.Fatalf("cache hit moved the engine histogram: %d -> %d", total, total2)
+	}
+
+	// The snapshot owns its map: mutating it must not corrupt the service.
+	st2.Engines["probe"] = 99
+	if svc.StatsSnapshot().Engines["probe"] != 0 {
+		t.Fatal("StatsSnapshot leaked its internal map")
+	}
+}

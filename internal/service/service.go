@@ -68,6 +68,12 @@ type Stats struct {
 	Incremental uint64 // incremental (ApplyEdits) solves actually executed
 	Size        int    // current result-cache entry count
 	Sessions    int    // current session-store entry count
+	// Engines accumulates the per-engine dispatch histograms of every solve
+	// this service executed (cache hits add nothing — no piece was solved):
+	// engine name → pieces colored. Fixed-engine requests land in one
+	// bucket; auto/race requests spread across the engines the portfolio
+	// picked, plus "fallback" for deadline-degraded pieces.
+	Engines map[string]uint64
 }
 
 // Service runs decompositions with caching and bounded concurrency. Safe
@@ -175,6 +181,9 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 				if err != nil {
 					return nil, "", false, err
 				}
+				s.mu.Lock()
+				s.recordEngines(res)
+				s.mu.Unlock()
 				return res, lh, false, nil
 			}
 			// A healthy completed solve is shareable. A degraded or failed
@@ -215,6 +224,9 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 		sess = &session{layout: snapshotLayout(l), res: e.res}
 	}
 	s.mu.Lock()
+	if e.err == nil {
+		s.recordEngines(e.res)
+	}
 	if sess == nil {
 		s.results.removeIf(key, e)
 	} else {
@@ -228,6 +240,20 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 		return nil, "", false, e.err
 	}
 	return copyResult(e.res), lh, false, nil
+}
+
+// recordEngines folds one executed solve's per-engine dispatch histogram
+// into the service totals. Callers must hold s.mu.
+func (s *Service) recordEngines(res *core.Result) {
+	if res == nil || len(res.DivisionStats.Engines) == 0 {
+		return
+	}
+	if s.stats.Engines == nil {
+		s.stats.Engines = make(map[string]uint64)
+	}
+	for name, n := range res.DivisionStats.Engines {
+		s.stats.Engines[name] += uint64(n)
+	}
 }
 
 // ensureSession re-registers a session for a healthy cached result whose
@@ -382,6 +408,9 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 				if err != nil {
 					return nil, "", nil, false, err
 				}
+				s.mu.Lock()
+				s.recordEngines(res)
+				s.mu.Unlock()
 				return res, newHash, estats, false, nil
 			}
 			if shared.err == nil && shared.res.Degraded == 0 {
@@ -404,6 +433,9 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 	var resL *layout.Layout
 	resL, e.res, estats, e.err = s.applyEdits(ctx, sess, edits, opts)
 	s.mu.Lock()
+	if e.err == nil {
+		s.recordEngines(e.res)
+	}
 	if e.err != nil || e.res.Degraded > 0 {
 		s.results.removeIf(key, e)
 	} else {
@@ -443,6 +475,12 @@ func (s *Service) StatsSnapshot() Stats {
 	st := s.stats
 	st.Size = s.results.len()
 	st.Sessions = s.sessions.len()
+	if s.stats.Engines != nil {
+		st.Engines = make(map[string]uint64, len(s.stats.Engines))
+		for name, n := range s.stats.Engines {
+			st.Engines[name] = n
+		}
+	}
 	return st
 }
 

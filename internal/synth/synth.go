@@ -108,10 +108,18 @@ const (
 // size; smaller values shrink area and cluster counts proportionally).
 // Generation is deterministic for a given (spec.Name, scale).
 func Generate(spec Spec, scale float64) *layout.Layout {
+	return GenerateSeeded(spec, scale, 0)
+}
+
+// GenerateSeeded is Generate with an extra seed mixed into the circuit's
+// name-derived base seed, for generating layout variants of one circuit
+// (load testing, fuzz corpora). Seed 0 reproduces Generate bit for bit —
+// and therefore the committed benchmarks/*.lay files.
+func GenerateSeeded(spec Spec, scale float64, seed int64) *layout.Layout {
 	if scale <= 0 {
 		scale = 1
 	}
-	rng := rand.New(rand.NewSource(seedOf(spec.Name)))
+	rng := rand.New(rand.NewSource(seedOf(spec.Name) ^ seed))
 	l := layout.New(spec.Name)
 
 	sites := int(float64(spec.Gates) * 2 * scale)
@@ -266,6 +274,70 @@ func GenerateByName(name string, scale float64) (*layout.Layout, error) {
 		return nil, fmt.Errorf("synth: unknown circuit %q", name)
 	}
 	return Generate(spec, scale), nil
+}
+
+// Random generates a small random layout for property-based tests:
+// contact clusters, wire segments and K5 crosses placed by the seeded rng
+// on the paper's 20 nm half-pitch process. Unlike the named circuits it has
+// no structural guarantees — clusters may overlap rows, wires may couple to
+// anything nearby — which is exactly what a property test wants: arbitrary
+// (valid) geometry in the regime the decomposer serves. Deterministic per
+// seed; the layout always has at least one feature.
+func Random(seed int64) *layout.Layout {
+	rng := rand.New(rand.NewSource(seed))
+	l := layout.New(fmt.Sprintf("random-%d", seed))
+
+	// A compact die: 2–4 rows of up to ~14 sites keeps graphs small enough
+	// that even the exact engine answers in milliseconds.
+	rows := 2 + rng.Intn(3)
+	perRow := 8 + rng.Intn(7)
+	for row := 0; row < rows; row++ {
+		y0 := row * rowPitch
+		for site := 0; site < perRow; site++ {
+			for line := 0; line < 2; line++ {
+				if rng.Float64() < 0.4 {
+					l.AddRect(geom.Rect{
+						X0: site * sitePitch, Y0: y0 + line*sitePitch,
+						X1: site*sitePitch + contactSize, Y1: y0 + line*sitePitch + contactSize,
+					})
+				}
+			}
+		}
+		// One wire segment per row half the time: stitch candidates.
+		if rng.Intn(2) == 0 {
+			x0 := rng.Intn(3) * sitePitch
+			x1 := x0 + (3+rng.Intn(5))*sitePitch
+			l.AddRect(geom.Rect{X0: x0, Y0: y0 + wireTrackY, X1: x1, Y1: y0 + wireTrackY + wireHeight})
+		}
+	}
+	// A dense king patch one time in three: a piece that survives division
+	// and reaches the per-component engines. Width ≤ 4 keeps the core at or
+	// below 16 vertices, where even the exact engine answers in ~25 ms.
+	if rng.Intn(3) == 0 {
+		bx := rng.Intn(4) * sitePitch
+		by := rows * rowPitch
+		w := 3 + rng.Intn(2)
+		for site := 0; site < w; site++ {
+			for line := 0; line < macroLines; line++ {
+				l.AddRect(geom.Rect{
+					X0: bx + site*sitePitch, Y0: by + line*sitePitch,
+					X1: bx + site*sitePitch + contactSize, Y1: by + line*sitePitch + contactSize,
+				})
+			}
+		}
+	}
+	// A K5 cross one time in three: a native QP conflict.
+	if rng.Intn(3) == 0 {
+		cx := (perRow + 2) * sitePitch
+		cy := rng.Intn(rows) * rowPitch
+		for _, d := range [][2]int{{0, 0}, {crossPitch, 0}, {-crossPitch, 0}, {0, crossPitch}, {0, -crossPitch}} {
+			l.AddRect(geom.Rect{X0: cx + d[0], Y0: cy + d[1], X1: cx + d[0] + contactSize, Y1: cy + d[1] + contactSize})
+		}
+	}
+	if len(l.Features) == 0 {
+		l.AddRect(geom.Rect{X0: 0, Y0: 0, X1: contactSize, Y1: contactSize})
+	}
+	return l
 }
 
 func scaledCount(n int, scale float64) int {

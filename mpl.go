@@ -51,6 +51,26 @@
 // wall-clock knob (DESIGN.md §3). Per-stage timings are reported in
 // BuildStats.Timing, and BuildGraphContext cancels cooperatively.
 //
+// # Adaptive engine portfolio
+//
+// Options.Engine switches color assignment from one fixed Algorithm to
+// per-component dispatch (DESIGN.md §8): "auto" profiles every connected
+// component the division pipeline isolates (size, conflict density,
+// odd-cycle evidence) and routes it to the cheapest engine predicted to
+// reach reference quality — exact ILP on small hard cores, SDP+Backtrack
+// in the middle, the linear-time engine on blocks too large for search —
+// while "race" runs two candidate engines per component concurrently
+// under Options.RaceBudget, keeps the first provably optimal result (or
+// the better of the two), and cancels the loser:
+//
+//	res, err := mpl.Decompose(l, mpl.Options{K: 4, Engine: mpl.EngineAuto})
+//
+// On the committed benchmark circuits auto matches or beats the best
+// fixed engine's conflict and stitch counts on every circuit at a small
+// fraction of the exact baseline's solve time (EXPERIMENTS.md);
+// Result.DivisionStats.Engines reports which engine colored how many
+// pieces.
+//
 // # Incremental (ECO) decomposition
 //
 // ApplyEdits re-decomposes an edited layout in time proportional to the
@@ -74,6 +94,7 @@ package mpl
 
 import (
 	"context"
+	"fmt"
 
 	"mpl/internal/core"
 	"mpl/internal/geom"
@@ -137,6 +158,25 @@ const (
 	// EditMove translates feature Edit.Feature by (Edit.DX, Edit.DY).
 	EditMove = core.EditMove
 )
+
+// Engine policies for Options.Engine: adaptive per-component dispatch
+// instead of one fixed Algorithm (internal/portfolio; DESIGN.md §"Engine
+// selection & racing").
+const (
+	// EngineAuto picks an engine per connected component from its
+	// structure (size, conflict density, odd-cycle evidence): exact ILP on
+	// small hard cores, SDP+Backtrack in the middle, the cheaper engines
+	// on components too large for search.
+	EngineAuto = core.EngineAuto
+	// EngineRace runs two candidate engines per component concurrently
+	// under Options.RaceBudget, keeps the first provably optimal result
+	// (or the better of the two), and cancels the loser via context.
+	EngineRace = core.EngineRace
+)
+
+// ParseEngine validates an Options.Engine policy name: "auto", "race" or
+// "" (fixed Algorithm).
+func ParseEngine(s string) (string, error) { return core.ParseEngine(s) }
 
 // The four color-assignment engines of the paper (Tables 1 and 2).
 const (
@@ -261,6 +301,17 @@ func PentupleSuite() []string {
 // (1.0 = nominal size; generation is deterministic).
 func GenerateBenchmark(name string, scale float64) (*Layout, error) {
 	return synth.GenerateByName(name, scale)
+}
+
+// GenerateBenchmarkSeeded is GenerateBenchmark with an extra seed mixed
+// into the circuit's deterministic base seed, producing layout variants of
+// one circuit. Seed 0 reproduces GenerateBenchmark bit for bit.
+func GenerateBenchmarkSeeded(name string, scale float64, seed int64) (*Layout, error) {
+	spec, ok := synth.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("mpl: unknown circuit %q", name)
+	}
+	return synth.GenerateSeeded(spec, scale, seed), nil
 }
 
 // BalanceMasks rotates whole components' colors to even out per-mask
