@@ -24,6 +24,7 @@ import (
 	"mpl/internal/ghtree"
 	"mpl/internal/graph"
 	"mpl/internal/maxflow"
+	"mpl/internal/pipeline"
 	"mpl/internal/sdp"
 	"mpl/internal/synth"
 )
@@ -297,7 +298,7 @@ func BenchmarkILPExact(b *testing.B) {
 // free solver, isolating division overhead from engine cost.
 func BenchmarkDivisionPipeline(b *testing.B) {
 	g := buildBenchGraph(b, "S35932", 4)
-	free := func(sub *graph.Graph) []int { return make([]int, sub.N()) }
+	free := func(sub *graph.Graph, _ *pipeline.Scratch) []int { return make([]int, sub.N()) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		division.Decompose(g.G, division.Options{K: 4, Alpha: 0.1}, free)

@@ -59,7 +59,7 @@ func TestBenchgenDeterministic(t *testing.T) {
 }
 
 func TestSeedZeroMatchesCommittedBenchmarks(t *testing.T) {
-	names := []string{"C432", "C499", "C880", "C1355"}
+	names := []string{"C432", "C499", "C880", "C1355", "C5315"}
 	files, _ := generate(t, names, 0, 4)
 	for _, n := range names {
 		committed, err := os.ReadFile(filepath.Join("..", "..", "benchmarks", n+".lay"))

@@ -7,6 +7,7 @@
 //	evaluate -ablation threshold  # Algorithm 1 t_th sweep
 //	evaluate -json auto           # record a BENCH_<timestamp>.json trajectory entry
 //	evaluate -json auto -edits 8  # …additionally replay ECO edit batches per circuit
+//	evaluate -stages              # …print per-stage wall times under each table
 //
 // Per circuit and algorithm it prints the conflict number (cn#), stitch
 // number (st#) and color-assignment CPU seconds (the solver stage of the
@@ -33,6 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -44,6 +46,7 @@ import (
 	"mpl"
 	"mpl/internal/benchrec"
 	"mpl/internal/division"
+	"mpl/internal/pipeline"
 	"mpl/internal/report"
 	"mpl/internal/service"
 )
@@ -72,6 +75,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write a benchmark-trajectory JSON instead of a table: a path, or 'auto' for BENCH_<timestamp>.json")
 	jsonLabel := flag.String("json-label", "trajectory", "label stored in the -json record")
 	edits := flag.Int("edits", 0, "with -json: replay this many random ECO edit batches per circuit with the first -algs engine, recording incremental vs from-scratch latency")
+	stages := flag.Bool("stages", false, "after each table, print per-stage wall times (simplify/partition/dispatch/stitch/merge) per circuit and engine")
 	laydir := flag.String("laydir", "", "read circuits from <dir>/<name>.lay instead of synthesizing them (-scale does not apply)")
 	flag.Parse()
 
@@ -101,7 +105,7 @@ func main() {
 	}
 	switch *ablation {
 	case "":
-		runTable(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *batchWorkers)
+		runTable(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *batchWorkers, *stages)
 	case "division":
 		runDivisionAblation(names, *k, *scale, *seed, *workers, *buildWorkers)
 	case "threshold":
@@ -226,7 +230,7 @@ func sweepList(algsFlag, engineFlag string, k int) []sweepSpec {
 	return specs
 }
 
-func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, batchWorkers int) {
+func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, batchWorkers int, showStages bool) {
 	cols := make([]string, len(specs))
 	hasBT := false
 	for i, s := range specs {
@@ -291,6 +295,37 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 	}
 	if err := tbl.Write(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if showStages {
+		writeStageTable(os.Stdout, names, specs, out)
+	}
+}
+
+// writeStageTable prints the per-stage wall-time breakdown of a finished
+// sweep: one block per engine column, one row per circuit, one column per
+// solve stage (the build stage is amortized by the service's graph cache
+// across the whole sweep, so it is not a per-solve number; use -json for
+// per-circuit build times).
+func writeStageTable(w io.Writer, names []string, specs []sweepSpec, out []service.Response) {
+	stageCols := []string{pipeline.StageSimplify, pipeline.StagePartition, pipeline.StageDispatch, pipeline.StageStitch, pipeline.StageMerge}
+	for si, s := range specs {
+		fmt.Fprintf(w, "\nstage timings (ms, %s):\n%-10s", s.label, "circuit")
+		for _, sc := range stageCols {
+			fmt.Fprintf(w, " %10s", sc)
+		}
+		fmt.Fprintln(w)
+		for ci, name := range names {
+			r := out[ci*len(specs)+si]
+			if r.Err != nil || r.Result == nil {
+				continue
+			}
+			ms := benchrec.StageMsOf(r.Result.DivisionStats.Stages)
+			fmt.Fprintf(w, "%-10s", name)
+			for _, sc := range stageCols {
+				fmt.Fprintf(w, " %10.3f", ms[sc])
+			}
+			fmt.Fprintln(w)
+		}
 	}
 }
 

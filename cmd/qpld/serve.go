@@ -29,11 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"mpl"
+	"mpl/internal/benchrec"
 	"mpl/internal/core"
 	"mpl/internal/division"
 	"mpl/internal/geom"
@@ -86,15 +90,21 @@ type decomposeResponse struct {
 	// Engine echoes the requested policy ("auto"/"race"; absent for fixed),
 	// and Engines is this solve's per-engine dispatch histogram (engine
 	// name → pieces colored; absent on cache hits — nothing was solved).
-	Engine    string         `json:"engine,omitempty"`
-	Engines   map[string]int `json:"engines,omitempty"`
-	Fragments int            `json:"fragments"`
-	Conflicts int            `json:"conflicts"`
-	Stitches  int            `json:"stitches"`
-	Proven    bool           `json:"proven"`
-	Degraded  int            `json:"degraded"`
-	Cached    bool           `json:"cached"`
-	ElapsedMs float64        `json:"elapsed_ms"`
+	Engine  string         `json:"engine,omitempty"`
+	Engines map[string]int `json:"engines,omitempty"`
+	// StageMs is this solve's per-stage wall time in milliseconds, keyed
+	// by the canonical stage names (build/simplify/partition/dispatch/
+	// stitch/merge). Absent on cache hits — nothing ran. Full solves omit
+	// "build" (the graph may have come from the graph cache); incremental
+	// solves include their dirty-region build.
+	StageMs   map[string]float64 `json:"stage_ms,omitempty"`
+	Fragments int                `json:"fragments"`
+	Conflicts int                `json:"conflicts"`
+	Stitches  int                `json:"stitches"`
+	Proven    bool               `json:"proven"`
+	Degraded  int                `json:"degraded"`
+	Cached    bool               `json:"cached"`
+	ElapsedMs float64            `json:"elapsed_ms"`
 	// LayoutHash identifies the decomposed geometry; it is the session key
 	// for POST /v1/decompose/incremental.
 	LayoutHash  string           `json:"layout_hash,omitempty"`
@@ -160,6 +170,7 @@ func runServe(args []string) {
 	buildWorkers := fs.Int("build-workers", 0, "graph-construction workers: default for requests and cap on their build_workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline cap")
 	maxBody := fs.Int64("max-body", 64<<20, "maximum request body bytes")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget: how long in-flight requests may finish after SIGINT/SIGTERM before their contexts are cancelled")
 	fs.Parse(args)
 
 	bw := *buildWorkers
@@ -172,10 +183,52 @@ func runServe(args []string) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("serving on %s (cache %d, workers %d, build workers %d, timeout cap %s)", *addr, *cacheSize, w, bw, *timeout)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("serving on %s (cache %d, workers %d, build workers %d, timeout cap %s, drain %s)", ln.Addr(), *cacheSize, w, bw, *timeout, *drain)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serveUntil(ctx, srv.mux(), ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// serveUntil runs the HTTP server on ln until ctx is cancelled (SIGINT or
+// SIGTERM in production, the test harness's cancel in tests), then shuts
+// down gracefully: the listener closes immediately — new connections are
+// refused — while in-flight requests get up to drain to finish. If the
+// drain budget expires first, every still-running request has its context
+// cancelled, which the solve paths answer degraded-but-valid (their
+// documented cancellation contract), and the server is then closed hard.
+// Queued work never outlives shutdown: request contexts descend from a
+// base context this function cancels on its way out.
+func serveUntil(ctx context.Context, h http.Handler, ln net.Listener, drain time.Duration) error {
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:     h,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown was requested
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// Drain budget exhausted: cancel the stragglers' contexts so their
+		// solves degrade immediately, then close the connections.
+		cancelBase()
+		hs.Close()
+		return fmt.Errorf("drain budget %s exhausted: %w", drain, err)
+	}
+	return nil
 }
 
 type server struct {
@@ -365,6 +418,7 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 	}
 	if !cached {
 		resp.Engines = res.DivisionStats.Engines
+		resp.StageMs = benchrec.StageMsOf(res.DivisionStats.Stages)
 	}
 	if req.IncludeMasks {
 		resp.Masks = masksToJSON(res)
@@ -431,6 +485,7 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cached {
 		resp.Engines = res.DivisionStats.Engines
+		resp.StageMs = benchrec.StageMsOf(res.DivisionStats.Stages)
 	}
 	if estats != nil {
 		resp.Incremental = &incrementalJSON{
@@ -525,6 +580,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if engines == nil {
 		engines = map[string]uint64{} // serialize as {}, not null
 	}
+	stages := make(map[string]map[string]any, len(st.Stages))
+	for name, ss := range st.Stages {
+		stages[name] = map[string]any{
+			"wall_ms": float64(ss.Wall.Microseconds()) / 1000,
+			"calls":   ss.Calls,
+		}
+	}
 	writeJSON(w, map[string]any{
 		"cache_hits":         st.Hits,
 		"cache_misses":       st.Misses,
@@ -534,6 +596,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"incremental_solves": st.Incremental,
 		"sessions":           st.Sessions,
 		"engines":            engines,
+		"stages":             stages,
 	})
 }
 

@@ -110,3 +110,50 @@ func TestServeEngineValidation(t *testing.T) {
 		t.Fatalf("race response incomplete: %+v", resp)
 	}
 }
+
+func TestServeStageTimings(t *testing.T) {
+	ts := testServer(t)
+	req := gridRequest("stage-grid", 4)
+
+	var resp decomposeResponse
+	if r := postJSON(t, ts.URL+"/v1/decompose", req, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	for _, name := range []string{"partition", "dispatch", "merge"} {
+		if _, ok := resp.StageMs[name]; !ok {
+			t.Errorf("executed solve must report stage %q: %v", name, resp.StageMs)
+		}
+	}
+	if _, ok := resp.StageMs["build"]; ok {
+		t.Errorf("full-solve response must not charge the (cacheable) graph build to one request: %v", resp.StageMs)
+	}
+
+	// A cached answer ran no stages.
+	var resp2 decomposeResponse
+	postJSON(t, ts.URL+"/v1/decompose", req, &resp2)
+	if !resp2.Cached || len(resp2.StageMs) != 0 {
+		t.Fatalf("cached response must omit stage timings: cached=%v stage_ms=%v", resp2.Cached, resp2.StageMs)
+	}
+
+	// /v1/stats aggregates stages across solves, including the build the
+	// service itself ran.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats struct {
+		Stages map[string]struct {
+			WallMs float64 `json:"wall_ms"`
+			Calls  int     `json:"calls"`
+		} `json:"stages"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"build", "partition", "dispatch", "merge"} {
+		if stats.Stages[name].Calls == 0 {
+			t.Errorf("/v1/stats stages missing %q: %+v", name, stats.Stages)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+// Graceful-shutdown behavior of qpld serve: once shutdown begins, the
+// listener refuses new work immediately while requests already in flight
+// run to completion within the drain budget.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"mpl/internal/service"
+)
+
+func TestServeGracefulShutdown(t *testing.T) {
+	srv := &server{
+		svc:        service.New(service.Config{CacheSize: 32}),
+		maxTimeout: 30 * time.Second,
+		maxBody:    1 << 20,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serveUntil(ctx, srv.mux(), ln, 30*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Kick off a slow solve (a 12×12 contact grid is one big biconnected
+	// core for SDP+Backtrack) and capture its outcome.
+	type outcome struct {
+		code int
+		resp decomposeResponse
+		err  error
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		body, _ := json.Marshal(gridRequest("shutdown-grid", 12))
+		r, err := http.Post(base+"/v1/decompose", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- outcome{err: err}
+			return
+		}
+		defer r.Body.Close()
+		var resp decomposeResponse
+		err = json.NewDecoder(r.Body).Decode(&resp)
+		inflight <- outcome{code: r.StatusCode, resp: resp, err: err}
+	}()
+
+	// Wait until that request is actually solving (its cache miss is
+	// registered before the solve starts), then trigger shutdown.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if srv.svc.StatsSnapshot().Misses >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight solve never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+
+	// New connections must be refused promptly: the listener closes at
+	// the start of the drain, not at its end.
+	client := &http.Client{Timeout: time.Second}
+	refused := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		r, err := client.Get(base + "/healthz")
+		if err != nil {
+			refused = true
+			break
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new requests were still accepted after shutdown began")
+	}
+
+	// The in-flight request still completes, successfully and undegraded.
+	select {
+	case got := <-inflight:
+		if got.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", got.err)
+		}
+		if got.code != http.StatusOK {
+			t.Fatalf("in-flight request status %d during drain", got.code)
+		}
+		if got.resp.Degraded != 0 {
+			t.Errorf("in-flight request was degraded by shutdown: %+v", got.resp)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+
+	// And the server exits cleanly once drained.
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serveUntil returned %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after drain")
+	}
+}
+
+func TestServeShutdownCancelsPastDrainBudget(t *testing.T) {
+	// With a zero drain budget, shutdown must not hang on a long solve:
+	// the request context is cancelled (the solve degrades or errors) and
+	// serveUntil reports the exhausted budget.
+	srv := &server{
+		svc:        service.New(service.Config{CacheSize: 32}),
+		maxTimeout: 30 * time.Second,
+		maxBody:    1 << 20,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serveUntil(ctx, srv.mux(), ln, time.Millisecond) }()
+	base := "http://" + ln.Addr().String()
+
+	requestDone := make(chan struct{})
+	go func() {
+		defer close(requestDone)
+		body, _ := json.Marshal(gridRequest("budget-grid", 14))
+		r, err := http.Post(base+"/v1/decompose", "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if srv.svc.StatsSnapshot().Misses >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Error("expected the exhausted drain budget to be reported")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server hung past its drain budget")
+	}
+	select {
+	case <-requestDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("cancelled in-flight request never returned")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mpl/internal/core"
+	"mpl/internal/pipeline"
 )
 
 // Run is one recorded benchmark run: the environment it ran in plus one
@@ -117,6 +118,12 @@ type AlgorithmRun struct {
 	// paper's CPU(s) column).
 	AssignMs float64 `json:"assign_ms"`
 	SolverMs float64 `json:"solver_ms"`
+	// StageMs breaks the run down by pipeline stage (simplify/partition/
+	// dispatch/stitch/merge wall milliseconds; the build stage is recorded
+	// per circuit, not per engine — see Circuit.BuildMs). Stage wall sums
+	// across division workers, so with DivWorkers > 1 it is CPU-style
+	// time, like SolverMs.
+	StageMs map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 // Ms converts a duration to the trajectory's unit (milliseconds, with
@@ -149,7 +156,22 @@ func AlgorithmRunOf(algorithm string, res *core.Result) AlgorithmRun {
 		Proven:    res.Proven,
 		AssignMs:  Ms(res.AssignTime),
 		SolverMs:  Ms(res.SolverTime),
+		StageMs:   StageMsOf(res.DivisionStats.Stages),
 	}
+}
+
+// StageMsOf flattens per-stage telemetry to the trajectory's stage → wall
+// milliseconds map (nil for an empty map, so cache-served results omit the
+// field entirely).
+func StageMsOf(stages map[string]pipeline.StageStats) map[string]float64 {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(stages))
+	for name, st := range stages {
+		out[name] = Ms(st.Wall)
+	}
+	return out
 }
 
 // Delta is one (circuit, algorithm) quality comparison between two runs.

@@ -309,10 +309,12 @@ func (b *builder) splitFeatures(ctx context.Context) error {
 		maxStitch = 2
 	}
 	splitter := newStitchSplitter(b.l, b.minS, minSeg, maxStitch)
-	queriers := sync.Pool{New: func() any { return splitter.grid.NewQuerier() }}
+	defer splitter.grid.Release()
+	queriers := newQuerierLease(splitter.grid)
+	defer queriers.release()
 	return b.runSharded(ctx, nf, "stitch splitting", func(lo, hi int) {
-		q := queriers.Get().(*spatial.Querier)
-		defer queriers.Put(q)
+		q := queriers.get()
+		defer queriers.put(q)
 		for fi := lo; fi < hi; fi++ {
 			ps := splitter.split(q, fi, b.l.Features[fi])
 			b.pieces[fi] = ps
@@ -371,6 +373,7 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 	radius := b.minS + b.hp
 	world := b.l.Bounds().Expand(radius + 1)
 	grid := spatial.NewGrid(world, radius, n)
+	defer grid.Release()
 	for _, fr := range b.frags {
 		grid.Insert(fr.Shape.Bounds())
 	}
@@ -444,10 +447,11 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 			}
 		})
 	}
-	queriers := sync.Pool{New: func() any { return grid.NewQuerier() }}
+	queriers := newQuerierLease(grid)
+	defer queriers.release()
 	return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
-		q := queriers.Get().(*spatial.Querier)
-		defer queriers.Put(q)
+		q := queriers.get()
+		defer queriers.put(q)
 		for _, oi := range order[lo:hi] {
 			i := int(oi)
 			fi := b.frags[i]
@@ -492,6 +496,43 @@ func (b *builder) replayEdges() {
 		}
 	}
 	b.confOf, b.friendOf = nil, nil
+}
+
+// querierLease is a sync.Pool of queriers over one grid that also tracks
+// every querier it ever created, so the build can Release their pooled
+// stamp arrays once the sharded stage finishes (a bare sync.Pool cannot be
+// enumerated, which would strand the stamps until GC instead of recycling
+// them into the next build).
+type querierLease struct {
+	p       sync.Pool
+	mu      sync.Mutex
+	created []*spatial.Querier
+}
+
+func newQuerierLease(grid *spatial.Grid) *querierLease {
+	ql := &querierLease{}
+	ql.p.New = func() any {
+		q := grid.NewQuerier()
+		ql.mu.Lock()
+		ql.created = append(ql.created, q)
+		ql.mu.Unlock()
+		return q
+	}
+	return ql
+}
+
+func (ql *querierLease) get() *spatial.Querier  { return ql.p.Get().(*spatial.Querier) }
+func (ql *querierLease) put(q *spatial.Querier) { ql.p.Put(q) }
+
+// release recycles every created querier's stamps. Call only after all
+// workers are done.
+func (ql *querierLease) release() {
+	ql.mu.Lock()
+	defer ql.mu.Unlock()
+	for _, q := range ql.created {
+		q.Release()
+	}
+	ql.created = nil
 }
 
 // stitchSplitter implements projection-based stitch candidate generation

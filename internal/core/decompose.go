@@ -13,6 +13,7 @@ import (
 	"mpl/internal/geom"
 	"mpl/internal/graph"
 	"mpl/internal/layout"
+	"mpl/internal/pipeline"
 	"mpl/internal/portfolio"
 	"mpl/internal/sdp"
 	"mpl/internal/spatial"
@@ -204,7 +205,12 @@ type Result struct {
 	// Division.Workers > 1 it sums across goroutines (CPU time, not wall
 	// clock).
 	SolverTime time.Duration
-	// DivisionStats reports what the Section 4 pipeline did.
+	// DivisionStats reports what the pipeline did, including the
+	// per-stage telemetry map (DivisionStats.Stages, keyed by the
+	// pipeline.Stage* names) covering every stage this call actually ran:
+	// build appears for Decompose/DecomposeContext/ApplyEdits but not for
+	// DecomposeGraph* (the graph was built earlier, possibly by someone
+	// else's call — the serving layer re-attaches its own build timing).
 	DivisionStats division.Stats
 	// Degraded counts graph pieces colored by the linear-time fallback
 	// because the context was cancelled (or its deadline passed) before
@@ -232,6 +238,14 @@ func (r *Result) Masks() [][]geom.Polygon {
 	return out
 }
 
+// sharedScratch is the process-wide scratch-arena pool every solve path
+// leases per-worker buffers from: division workers thread an arena into
+// each engine call (SDP matrix workspace), race-mode racers lease their
+// own, and pooled arenas survive across service requests, so steady-state
+// serving stops re-allocating hot-path memory. The allocation benchmarks
+// (BenchmarkRepeatedSolve) compare this pool against an unpooled one.
+var sharedScratch = pipeline.NewScratchPool()
+
 // Decompose runs the full flow of Fig. 2 on a layout.
 func Decompose(l *layout.Layout, opts Options) (*Result, error) {
 	return DecomposeContext(context.Background(), l, opts)
@@ -245,18 +259,27 @@ func Decompose(l *layout.Layout, opts Options) (*Result, error) {
 // fallback pieces and Proven false — rather than an error, so a serving
 // layer can always answer with its best effort under a deadline.
 func DecomposeContext(ctx context.Context, l *layout.Layout, opts Options) (*Result, error) {
+	if _, err := ParseEngine(opts.Engine); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
+	rec := pipeline.NewRecorder()
+	var dg *Graph
 	// The build deliberately ignores ctx: the degraded-result contract of
 	// this API promises a valid best-effort coloring even when ctx is
 	// already dead, and a half-built graph has no degraded form — an
 	// abort-and-rebuild would only ever add work. Parallelism still applies
 	// (opts.Build.Workers); callers that prefer abort-on-cancel semantics
 	// compose BuildGraphContext with DecomposeGraphContext themselves.
-	dg, err := BuildGraph(l, opts.Build)
-	if err != nil {
+	build := pipeline.Func(pipeline.StageBuild, func(context.Context) error {
+		var err error
+		dg, err = BuildGraph(l, opts.Build)
+		return err
+	})
+	if err := pipeline.New(rec, build).Run(ctx); err != nil {
 		return nil, err
 	}
-	return DecomposeGraphContext(ctx, dg, opts)
+	return decomposeGraph(ctx, dg, opts, rec)
 }
 
 // DecomposeGraph colors an already-built decomposition graph; callers that
@@ -272,40 +295,94 @@ func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Resul
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	var unproven atomic.Bool
+	return decomposeGraph(ctx, dg, opts, pipeline.NewRecorder())
+}
+
+// graphRun carries one graph-coloring run through the stage pipeline. The
+// divide stage is composite — internal/division tallies the Simplify,
+// Partition, Dispatch and Stitch regions it interleaves per component —
+// while Merge (validate + count + assemble) is recorded by the pipeline
+// itself, and any stages the caller already ran (the Build of
+// DecomposeContext, the incremental stages of ApplyEdits) arrive through
+// the shared recorder.
+type graphRun struct {
+	dg   *Graph
+	opts Options
+	pool *pipeline.ScratchPool
+
+	colors     []int
+	stats      division.Stats
+	unproven   atomic.Bool
+	solverNs   atomic.Int64
+	assignTime time.Duration
+	res        *Result
+}
+
+// divide runs graph division with the configured engine dispatcher over
+// the shared scratch pool.
+func (r *graphRun) divide(ctx context.Context) error {
+	start := time.Now()
 	tally := newEngineTally()
-	inner := makeSolver(ctx, opts, &unproven, tally)
-	var solverNanos atomic.Int64
-	solver := func(g *graph.Graph) []int {
+	inner := makeSolver(ctx, r.opts, &r.unproven, tally, r.pool)
+	solver := func(g *graph.Graph, sc *pipeline.Scratch) []int {
 		t0 := time.Now()
-		colors := inner(g)
-		solverNanos.Add(int64(time.Since(t0)))
+		colors := inner(g, sc)
+		r.solverNs.Add(int64(time.Since(t0)))
 		return colors
 	}
+	r.colors, r.stats = division.DecomposeEnv(ctx, r.dg.G, r.opts.Division, division.Env{Scratch: r.pool}, solver)
+	tally.drainInto(&r.stats)
+	r.assignTime = time.Since(start)
+	return nil
+}
 
-	start := time.Now()
-	colors, stats := division.DecomposeContext(ctx, dg.G, opts.Division, solver)
-	elapsed := time.Since(start)
-	tally.drainInto(&stats)
-
-	if err := coloring.Validate(dg.G, colors, opts.K); err != nil {
-		return nil, fmt.Errorf("core: internal error: %w", err)
+// merge validates the full coloring, counts the objective, and assembles
+// the Result.
+func (r *graphRun) merge(context.Context) error {
+	if err := coloring.Validate(r.dg.G, r.colors, r.opts.K); err != nil {
+		return fmt.Errorf("core: internal error: %w", err)
 	}
-	conf, stit := coloring.Count(dg.G, colors)
-	return &Result{
-		Graph:         dg,
-		Colors:        colors,
+	conf, stit := coloring.Count(r.dg.G, r.colors)
+	r.res = &Result{
+		Graph:         r.dg,
+		Colors:        r.colors,
 		Conflicts:     conf,
 		Stitches:      stit,
-		Proven:        !unproven.Load() && stats.Fallbacks == 0,
-		AssignTime:    elapsed,
-		SolverTime:    time.Duration(solverNanos.Load()),
-		DivisionStats: stats,
-		Degraded:      stats.Fallbacks,
-		K:             opts.K,
-		Alpha:         opts.Alpha,
-		Options:       opts,
-	}, nil
+		Proven:        !r.unproven.Load() && r.stats.Fallbacks == 0,
+		AssignTime:    r.assignTime,
+		SolverTime:    time.Duration(r.solverNs.Load()),
+		DivisionStats: r.stats,
+		Degraded:      r.stats.Fallbacks,
+		K:             r.opts.K,
+		Alpha:         r.opts.Alpha,
+		Options:       r.opts,
+	}
+	return nil
+}
+
+// decomposeGraph is the shared stage composition of every from-scratch
+// solve: divide (composite) then merge, with rec carrying stages the
+// caller already ran. opts must be validated and defaulted.
+func decomposeGraph(ctx context.Context, dg *Graph, opts Options, rec *pipeline.Recorder) (*Result, error) {
+	return decomposeGraphPool(ctx, dg, opts, rec, sharedScratch)
+}
+
+// decomposeGraphPool is decomposeGraph with an explicit scratch pool, so
+// the allocation benchmarks can compare pooled against unpooled arenas
+// without mutating the shared pool under everyone else.
+func decomposeGraphPool(ctx context.Context, dg *Graph, opts Options, rec *pipeline.Recorder, pool *pipeline.ScratchPool) (*Result, error) {
+	run := &graphRun{dg: dg, opts: opts, pool: pool}
+	p := pipeline.New(rec,
+		pipeline.Composite(run.divide),
+		pipeline.Func(pipeline.StageMerge, run.merge),
+	)
+	if err := p.Run(ctx); err != nil {
+		return nil, err
+	}
+	// Fold the pipeline-recorded stages (build, merge) into the division
+	// tally so the Result carries the complete per-stage map.
+	run.res.DivisionStats.Stages = pipeline.MergeStages(run.res.DivisionStats.Stages, rec.Snapshot())
+	return run.res, nil
 }
 
 // engineTally accumulates the per-engine dispatch histogram while division
@@ -342,22 +419,23 @@ func (t *engineTally) drainInto(st *division.Stats) {
 // "fallback" instead of overstating the exact engine in the histogram.
 // ilpDeadline is the run-global ILP budget expiry, shared across
 // components like the classic AlgILP path. Solvers are safe for concurrent
-// calls (division's Workers mode).
+// calls (division's Workers mode); each call carves its engine workspace
+// from the scratch arena it is handed.
 func classSolver(class portfolio.Class, opts Options, unproven *atomic.Bool, fellBack *atomic.Bool, ilpDeadline time.Time) portfolio.Solver {
 	switch class {
 	case portfolio.Linear:
 		lin := opts.Linear
-		return func(_ context.Context, g *graph.Graph) []int {
+		return func(_ context.Context, g *graph.Graph, _ *pipeline.Scratch) []int {
 			return coloring.Linear(g, lin)
 		}
 	case portfolio.SDPGreedy:
-		return func(ctx context.Context, g *graph.Graph) []int {
-			sol := solveSDP(ctx, g, opts)
+		return func(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) []int {
+			sol := solveSDP(ctx, g, opts, sc)
 			return coloring.SDPGreedy(g, sol, opts.K, opts.Alpha)
 		}
 	case portfolio.SDPBacktrack:
-		return func(ctx context.Context, g *graph.Graph) []int {
-			sol := solveSDP(ctx, g, opts)
+		return func(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) []int {
+			sol := solveSDP(ctx, g, opts, sc)
 			colors, ok := coloring.SDPBacktrackContext(ctx, g, sol, opts.K, opts.Alpha, opts.Threshold, opts.BacktrackNodeLimit)
 			if !ok {
 				unproven.Store(true)
@@ -365,7 +443,7 @@ func classSolver(class portfolio.Class, opts Options, unproven *atomic.Bool, fel
 			return colors
 		}
 	case portfolio.ILP:
-		return func(ctx context.Context, g *graph.Graph) []int {
+		return func(ctx context.Context, g *graph.Graph, _ *pipeline.Scratch) []int {
 			remaining := time.Until(ilpDeadline)
 			if remaining <= 0 {
 				unproven.Store(true)
@@ -414,17 +492,21 @@ func engineLabel(class portfolio.Class, fellBack bool) string {
 }
 
 // makeSolver builds the per-component solve function the division pipeline
-// calls: the fixed Options.Algorithm engine, or the adaptive auto/race
-// portfolio dispatcher when Options.Engine is set. The unproven flag is set
-// when the kept result's exact search was cut short (node limit, time
-// budget, or ctx cancellation mid-solve) — in race mode a cancelled loser
-// does not taint it. Every dispatch is tallied per engine name into tally,
-// with budget-fallback pieces attributed to "fallback", not their class.
-func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally *engineTally) division.Solver {
+// calls — the Dispatch stage's dispatcher: the fixed Options.Algorithm
+// engine, or the adaptive auto/race portfolio when Options.Engine is set.
+// The unproven flag is set when the kept result's exact search was cut
+// short (node limit, time budget, or ctx cancellation mid-solve) — in race
+// mode a cancelled loser does not taint it. Every dispatch is tallied per
+// engine name into tally, with budget-fallback pieces attributed to
+// "fallback", not their class. The worker's scratch arena is threaded into
+// the engine (auto/fixed); race-mode racers lease their own arenas from
+// the run's pool, because a cancelled loser may still be writing to its
+// arena after the race returns.
+func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally *engineTally, pool *pipeline.ScratchPool) division.Solver {
 	ilpDeadline := time.Now().Add(opts.ILPTimeLimit)
 	switch opts.Engine {
 	case EngineAuto:
-		return func(g *graph.Graph) []int {
+		return func(g *graph.Graph, sc *pipeline.Scratch) []int {
 			// fell tracks, per class, whether the selected engine actually
 			// ran or the spent ILP budget made the linear fallback answer.
 			var fell [portfolio.NumClasses]atomic.Bool
@@ -432,12 +514,12 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
 				engines[c] = classSolver(c, opts, unproven, &fell[c], ilpDeadline)
 			}
-			colors, out := portfolio.Auto(ctx, g, opts.Portfolio, opts.K, engines)
+			colors, out := portfolio.Auto(ctx, g, opts.Portfolio, opts.K, engines, sc)
 			tally.add(engineLabel(out.Winner, fell[out.Winner].Load()))
 			return colors
 		}
 	case EngineRace:
-		return func(g *graph.Graph) []int {
+		return func(g *graph.Graph, _ *pipeline.Scratch) []int {
 			// Per-racer provenness: only the winner's truncation (or a
 			// budget expiry it survived on quality) may mark the result
 			// unproven; a cancelled loser's is irrelevant. fell tracks,
@@ -448,7 +530,7 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
 				engines[c] = classSolver(c, opts, &flags[c], &fell[c], ilpDeadline)
 			}
-			colors, out := portfolio.Race(ctx, g, opts.Portfolio, opts.K, opts.Alpha, opts.RaceBudget, engines)
+			colors, out := portfolio.Race(ctx, g, opts.Portfolio, opts.K, opts.Alpha, opts.RaceBudget, engines, pool)
 			if !out.ProvenOptimal && flags[out.Winner].Load() {
 				unproven.Store(true)
 			}
@@ -457,22 +539,22 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 		}
 	}
 	class := classOf(opts.Algorithm)
-	return func(g *graph.Graph) []int {
+	return func(g *graph.Graph, sc *pipeline.Scratch) []int {
 		var fell atomic.Bool
-		colors := classSolver(class, opts, unproven, &fell, ilpDeadline)(ctx, g)
+		colors := classSolver(class, opts, unproven, &fell, ilpDeadline)(ctx, g, sc)
 		tally.add(engineLabel(class, fell.Load()))
 		return colors
 	}
 }
 
-func solveSDP(ctx context.Context, g *graph.Graph, opts Options) *sdp.Solution {
-	return sdp.SolveContext(ctx, g, sdp.Options{
+func solveSDP(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch) *sdp.Solution {
+	return sdp.SolveScratch(ctx, g, sdp.Options{
 		K:        opts.K,
 		Alpha:    opts.Alpha,
 		Restarts: opts.SDPRestarts,
 		MaxIter:  opts.SDPMaxIter,
 		Seed:     opts.Seed,
-	})
+	}, sc)
 }
 
 // VerifySolution independently re-derives conflicts from geometry: it
@@ -489,6 +571,7 @@ func VerifySolution(r *Result) (conflicts, stitches int, err error) {
 	minSq := int64(dg.MinS) * int64(dg.MinS)
 	world := worldOf(dg)
 	grid := spatial.NewGrid(world, dg.MinS+1, len(dg.Fragments))
+	defer grid.Release()
 	for _, fr := range dg.Fragments {
 		grid.Insert(fr.Shape.Bounds())
 	}

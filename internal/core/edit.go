@@ -40,6 +40,7 @@ import (
 	"mpl/internal/geom"
 	"mpl/internal/graph"
 	"mpl/internal/layout"
+	"mpl/internal/pipeline"
 	"mpl/internal/spatial"
 )
 
@@ -257,20 +258,27 @@ func ApplyEdits(ctx context.Context, l *layout.Layout, prev *Result, edits []Edi
 		return nil, nil, nil, err
 	}
 
+	// The incremental path is the regular stage pipeline with the Build
+	// and Partition stages substituted by their dirty-region versions: the
+	// build reuses every provably unchanged fragment and edge, the
+	// partition classifies components as copy-safe versus dirty, the
+	// divide/merge tail is shared with the from-scratch run (divide runs
+	// the regular division pipeline over the dirty subgraph; merge applies
+	// component-local objective deltas instead of a full recount).
 	es := &EditStats{Edits: len(edits)}
-	t0 := time.Now()
-	ib, err := rebuildGraph(l, newL, prev, plan, opts, minS, es)
-	if err != nil {
+	run := &editRun{l: l, newL: newL, prev: prev, plan: plan, opts: opts, minS: minS, es: es}
+	rec := pipeline.NewRecorder()
+	p := pipeline.New(rec,
+		pipeline.Func(pipeline.StageBuild, run.build),
+		pipeline.Func(pipeline.StagePartition, run.partition),
+		pipeline.Composite(run.divide),
+		pipeline.Func(pipeline.StageMerge, run.merge),
+	)
+	if err := p.Run(ctx); err != nil {
 		return nil, nil, nil, err
 	}
-	es.BuildTime = time.Since(t0)
-	ib.dg.Stats.Timing.Total = es.BuildTime
-
-	res, err := resolveDirty(ctx, prev, ib, opts, es)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return newL, res, es, nil
+	run.res.DivisionStats.Stages = pipeline.MergeStages(run.res.DivisionStats.Stages, rec.Snapshot())
+	return newL, run.res, es, nil
 }
 
 // incrementalGraph is the output of the dirty-region graph rebuild: the
@@ -342,6 +350,8 @@ func rebuildGraph(l, newL *layout.Layout, prev *Result, plan *editPlan, opts Opt
 	var q *spatial.Querier
 	if splitter != nil {
 		q = splitter.grid.NewQuerier()
+		defer q.Release()
+		defer splitter.grid.Release()
 	}
 	split := func(fi int) []geom.Polygon {
 		if splitter == nil {
@@ -417,6 +427,7 @@ func rebuildGraph(l, newL *layout.Layout, prev *Result, plan *editPlan, opts Opt
 	minSq := int64(minS) * int64(minS)
 	friendOuter := int64(radius) * int64(radius)
 	grid := spatial.NewGrid(newL.Bounds().Expand(radius+1), radius, nNew)
+	defer grid.Release()
 	for _, fr := range frags {
 		grid.Insert(fr.Shape.Bounds())
 	}
@@ -524,15 +535,57 @@ func piecesEqual(a, b []geom.Polygon) bool {
 	return true
 }
 
-// resolveDirty partitions the post-edit graph's components into copy-safe
-// ones (prior colors reused verbatim) and dirty ones (re-solved through the
-// regular division pipeline), then updates the objective totals by
-// component-local deltas.
-func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts Options, es *EditStats) (*Result, error) {
+// editRun carries one ApplyEdits call through the stage pipeline: the
+// dirty-region Build and Partition substitutions, then the divide/merge
+// tail every solve path shares.
+type editRun struct {
+	l, newL *layout.Layout
+	prev    *Result
+	plan    *editPlan
+	opts    Options
+	minS    int
+	es      *EditStats
+
+	ib *incrementalGraph
+
+	// partition output: the copy-safe components' colors pre-filled, the
+	// dirty vertex union, and the copied-vertex masks the merge deltas
+	// need.
+	colors    []int
+	dirty     []int
+	copiedOld []bool
+	copiedNew []bool
+
+	// divide output.
+	unproven    atomic.Bool
+	solverNanos atomic.Int64
+	dstats      division.Stats
+
+	res *Result
+}
+
+// build is the dirty-region Build stage: reconstruct the decomposition
+// graph reusing every provably unchanged fragment and adjacency entry.
+func (r *editRun) build(context.Context) error {
+	t0 := time.Now()
+	ib, err := rebuildGraph(r.l, r.newL, r.prev, r.plan, r.opts, r.minS, r.es)
+	if err != nil {
+		return err
+	}
+	r.es.BuildTime = time.Since(t0)
+	ib.dg.Stats.Timing.Total = r.es.BuildTime
+	r.ib = ib
+	return nil
+}
+
+// partition is the dirty-region Partition stage: classify each post-edit
+// component as copy-safe (prior colors reused verbatim) or dirty (queued
+// for the divide stage).
+func (r *editRun) partition(context.Context) error {
+	prev, ib := r.prev, r.ib
 	pg := prev.Graph
 	g := ib.dg.G
 	nNew := g.N()
-	nOld := pg.G.N()
 
 	// A component may keep its prior colors only if its solver input is
 	// provably the input the prior run solved: every vertex is a reused
@@ -566,70 +619,82 @@ func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts 
 	}
 
 	comps := g.Components()
-	es.Components = len(comps)
-	colors := make([]int, nNew)
-	for i := range colors {
-		colors[i] = coloring.Uncolored
+	r.es.Components = len(comps)
+	r.colors = make([]int, nNew)
+	for i := range r.colors {
+		r.colors[i] = coloring.Uncolored
 	}
-	copiedOld := make([]bool, nOld)
-	copiedNew := make([]bool, nNew)
-	var dirty []int
+	r.copiedOld = make([]bool, pg.G.N())
+	r.copiedNew = make([]bool, nNew)
 	for _, comp := range comps {
 		if copySafe(comp) {
 			for _, v := range comp {
 				ov := ib.newToOld[v]
-				colors[v] = prev.Colors[ov]
-				copiedOld[ov] = true
-				copiedNew[v] = true
+				r.colors[v] = prev.Colors[ov]
+				r.copiedOld[ov] = true
+				r.copiedNew[v] = true
 			}
-			es.CopiedComponents++
+			r.es.CopiedComponents++
 		} else {
-			dirty = append(dirty, comp...)
-			es.ResolvedComponents++
+			r.dirty = append(r.dirty, comp...)
+			r.es.ResolvedComponents++
 		}
 	}
+	return nil
+}
 
-	// Re-solve the dirty components exactly as a scratch run would: the
-	// induced subgraph over their union has those components as its
-	// components, and the double relabeling is order-preserving over
-	// canonical adjacency, so each engine sees the same per-component
-	// input a full DecomposeGraph would hand it.
+// divide re-solves the dirty components exactly as a scratch run would:
+// the induced subgraph over their union has those components as its
+// components, and the double relabeling is order-preserving over canonical
+// adjacency, so each engine sees the same per-component input a full
+// DecomposeGraph would hand it. Composite — division tallies its own
+// simplify/partition/dispatch/stitch regions into the run's stats.
+func (r *editRun) divide(ctx context.Context) error {
 	tSolve := time.Now()
-	var unproven atomic.Bool
-	var solverNanos atomic.Int64
-	var dstats division.Stats
-	if len(dirty) > 0 {
-		sort.Ints(dirty)
+	if len(r.dirty) > 0 {
+		sort.Ints(r.dirty)
 		tally := newEngineTally()
-		inner := makeSolver(ctx, opts, &unproven, tally)
-		solver := func(sg *graph.Graph) []int {
+		inner := makeSolver(ctx, r.opts, &r.unproven, tally, sharedScratch)
+		solver := func(sg *graph.Graph, sc *pipeline.Scratch) []int {
 			t := time.Now()
-			out := inner(sg)
-			solverNanos.Add(int64(time.Since(t)))
+			out := inner(sg, sc)
+			r.solverNanos.Add(int64(time.Since(t)))
 			return out
 		}
-		sub, orig := g.Subgraph(dirty)
-		subColors, st := division.DecomposeContext(ctx, sub, opts.Division, solver)
+		sub, orig := r.ib.dg.G.Subgraph(r.dirty)
+		subColors, st := division.DecomposeEnv(ctx, sub, r.opts.Division, division.Env{Scratch: sharedScratch}, solver)
 		for i, v := range orig {
-			colors[v] = subColors[i]
+			r.colors[v] = subColors[i]
 		}
 		tally.drainInto(&st)
-		dstats = st
-		es.ResolvedFragments = len(dirty)
+		r.dstats = st
+		r.es.ResolvedFragments = len(r.dirty)
 	}
-	es.SolveTime = time.Since(tSolve)
+	r.es.SolveTime = time.Since(tSolve)
+	return nil
+}
 
-	if err := coloring.Validate(g, colors, opts.K); err != nil {
-		return nil, fmt.Errorf("core: internal error: %w", err)
+// merge validates the stitched-together coloring and updates the objective
+// totals by component-local deltas. Conflict and stitch edges never cross
+// component boundaries, so the copied components' contribution is
+// byte-for-byte the same in both runs: subtract the old totals of
+// everything not copied, add the new totals of everything re-solved (or
+// newly built).
+func (r *editRun) merge(context.Context) error {
+	prev, ib := r.prev, r.ib
+	pg := prev.Graph
+	g := ib.dg.G
+	nNew := g.N()
+	nOld := pg.G.N()
+	colors := r.colors
+
+	if err := coloring.Validate(g, colors, r.opts.K); err != nil {
+		return fmt.Errorf("core: internal error: %w", err)
 	}
 
-	// Objective deltas. Conflict and stitch edges never cross component
-	// boundaries, so the copied components' contribution is byte-for-byte
-	// the same in both runs: subtract the old totals of everything not
-	// copied, add the new totals of everything re-solved (or newly built).
 	conf, stit := prev.Conflicts, prev.Stitches
 	for ov := 0; ov < nOld; ov++ {
-		if copiedOld[ov] {
+		if r.copiedOld[ov] {
 			continue
 		}
 		for _, w := range pg.G.ConflictNeighbors(ov) {
@@ -644,7 +709,7 @@ func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts 
 		}
 	}
 	for v := 0; v < nNew; v++ {
-		if copiedNew[v] {
+		if r.copiedNew[v] {
 			continue
 		}
 		for _, w := range g.ConflictNeighbors(v) {
@@ -659,18 +724,19 @@ func resolveDirty(ctx context.Context, prev *Result, ib *incrementalGraph, opts 
 		}
 	}
 
-	return &Result{
+	r.res = &Result{
 		Graph:         ib.dg,
 		Colors:        colors,
 		Conflicts:     conf,
 		Stitches:      stit,
-		Proven:        prev.Proven && !unproven.Load() && dstats.Fallbacks == 0,
-		AssignTime:    es.SolveTime,
-		SolverTime:    time.Duration(solverNanos.Load()),
-		DivisionStats: dstats,
-		Degraded:      dstats.Fallbacks,
-		K:             opts.K,
-		Alpha:         opts.Alpha,
-		Options:       opts,
-	}, nil
+		Proven:        prev.Proven && !r.unproven.Load() && r.dstats.Fallbacks == 0,
+		AssignTime:    r.es.SolveTime,
+		SolverTime:    time.Duration(r.solverNanos.Load()),
+		DivisionStats: r.dstats,
+		Degraded:      r.dstats.Fallbacks,
+		K:             r.opts.K,
+		Alpha:         r.opts.Alpha,
+		Options:       r.opts,
+	}
+	return nil
 }

@@ -24,13 +24,18 @@ import (
 // goldenCounts is the committed baseline: circuit → engine → {cn#, st#}.
 // Regenerate with:
 //
-//	go run ./cmd/evaluate -laydir benchmarks -circuits C432,C499,C880,C1355 \
+//	go run ./cmd/evaluate -laydir benchmarks -circuits C432,C499,C880,C1355,C5315 \
 //	    -algs ilp,sdp-backtrack,sdp-greedy,linear -batch-workers 1 -ilp-budget 600s
+//
+// C5315 (~4.3× C1355's feature count) is the scale representative: large
+// enough that the stage pipeline's partition/dispatch split matters, small
+// enough that its ILP row still proves within minutes.
 var goldenCounts = map[string]map[Algorithm][2]int{
 	"C432":  {AlgILP: {2, 18}, AlgSDPBacktrack: {2, 18}, AlgSDPGreedy: {4, 18}, AlgLinear: {2, 18}},
 	"C499":  {AlgILP: {1, 20}, AlgSDPBacktrack: {1, 22}, AlgSDPGreedy: {3, 20}, AlgLinear: {1, 22}},
 	"C880":  {AlgILP: {1, 62}, AlgSDPBacktrack: {1, 62}, AlgSDPGreedy: {3, 62}, AlgLinear: {1, 62}},
 	"C1355": {AlgILP: {0, 81}, AlgSDPBacktrack: {0, 80}, AlgSDPGreedy: {0, 80}, AlgLinear: {0, 80}},
+	"C5315": {AlgILP: {1, 369}, AlgSDPBacktrack: {1, 368}, AlgSDPGreedy: {1, 368}, AlgLinear: {1, 368}},
 }
 
 func TestGoldenTable1Counts(t *testing.T) {

@@ -18,20 +18,43 @@
 // The pipeline is solver-agnostic: any function that colors one connected
 // component can be plugged in, which is how the ILP / SDP / linear engines
 // of the paper's Tables 1–2 share identical division treatment.
+//
+// In stage terms (internal/pipeline), this package implements the middle
+// of the flow: step 2 is the Simplify stage, steps 1, 3 and 4 are the
+// Partition stage, each solver call is one Dispatch, and every reassembly
+// action — block rotations, GH cut rotations, peel-stack pops — is the
+// Stitch stage. Per-stage wall time is tallied into Stats.Stages (summed
+// across workers like every other Stats field), and each worker threads a
+// pipeline.Scratch arena into its solver calls so engines reuse hot-path
+// buffers instead of re-allocating them per piece.
 package division
 
 import (
 	"context"
 	"sync"
+	"time"
 
 	"mpl/internal/coloring"
 	"mpl/internal/ghtree"
 	"mpl/internal/graph"
+	"mpl/internal/pipeline"
 )
 
 // Solver colors one connected decomposition (sub)graph with K colors,
-// returning one color in [0, K) per vertex.
-type Solver func(g *graph.Graph) []int
+// returning one color in [0, K) per vertex. The scratch arena is the
+// calling worker's (nil-safe, single-goroutine); engines carve reusable
+// workspace from it and must not retain carved buffers past the call's
+// consumption — see pipeline.Scratch.
+type Solver func(g *graph.Graph, sc *pipeline.Scratch) []int
+
+// Env carries the cross-cutting pipeline machinery of one decomposition
+// run: the scratch-buffer pool workers lease their arenas from. The zero
+// value (nil pool) disables pooling — every buffer request allocates.
+type Env struct {
+	// Scratch is the per-worker arena pool; each division worker leases
+	// one arena for its lifetime and threads it through Dispatch.
+	Scratch *pipeline.ScratchPool
+}
 
 // Options controls which division techniques run. The zero value enables
 // everything with the paper's parameters except K, which must be set.
@@ -98,6 +121,13 @@ type Stats struct {
 	// fixed-engine run shows one bucket, an auto/race run shows the mix.
 	// Lazily allocated — a Stats with no dispatches has a nil map.
 	Engines map[string]int
+
+	// Stages is the per-stage telemetry of the run, keyed by the
+	// pipeline.Stage* names. This package tallies the stages it owns
+	// (simplify, partition, dispatch, stitch; wall summed across workers,
+	// like SolverTime); internal/core folds in the build and merge stages
+	// around it. Lazily allocated, merged across workers like Engines.
+	Stages map[string]pipeline.StageStats
 }
 
 // AddEngine accumulates n dispatches of the named engine into the
@@ -107,6 +137,17 @@ func (s *Stats) AddEngine(name string, n int) {
 		s.Engines = make(map[string]int)
 	}
 	s.Engines[name] += n
+}
+
+// AddStage accumulates one timed region into the named stage bucket.
+func (s *Stats) AddStage(name string, d time.Duration) {
+	if s.Stages == nil {
+		s.Stages = make(map[string]pipeline.StageStats, 8)
+	}
+	cur := s.Stages[name]
+	cur.Wall += d
+	cur.Calls++
+	s.Stages[name] = cur
 }
 
 // addWorker accumulates one worker's per-component counters into s.
@@ -124,6 +165,7 @@ func (s *Stats) addWorker(o Stats) {
 	for name, n := range o.Engines {
 		s.AddEngine(name, n)
 	}
+	s.Stages = pipeline.MergeStages(s.Stages, o.Stages)
 }
 
 // Decompose divides the graph, colors every piece with solve, and
@@ -140,6 +182,13 @@ func Decompose(g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
 // so a cancelled call returns as soon as in-flight solver calls notice the
 // cancellation rather than after the full queue is solved at full quality.
 func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve Solver) ([]int, Stats) {
+	return DecomposeEnv(ctx, g, opts, Env{}, solve)
+}
+
+// DecomposeEnv is DecomposeContext with an explicit pipeline environment:
+// a scratch pool for per-worker engine arenas. Stats.Stages is tallied
+// either way; the env only decides whether buffers are pooled.
+func DecomposeEnv(ctx context.Context, g *graph.Graph, opts Options, env Env, solve Solver) ([]int, Stats) {
 	opts = opts.withDefaults()
 	n := g.N()
 	colors := make([]int, n)
@@ -147,15 +196,20 @@ func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve S
 		colors[i] = coloring.Uncolored
 	}
 	var st Stats
+	tPart := time.Now()
 	comps := g.Components()
+	st.AddStage(pipeline.StagePartition, time.Since(tPart))
 	st.Components = len(comps)
 	if opts.Workers <= 1 {
+		sc := env.Scratch.Get()
+		defer env.Scratch.Put(sc)
 		for _, comp := range comps {
-			sub, orig := g.Subgraph(comp)
-			subColors := decomposeComponent(ctx, sub, opts, solve, &st)
+			sub, orig := subgraphTimed(g, comp, &st)
+			subColors := decomposeComponent(ctx, sub, opts, solve, &st, sc)
 			for i, v := range orig {
 				colors[v] = subColors[i]
 			}
+			sc.PutInts(subColors)
 		}
 		return colors, st
 	}
@@ -170,12 +224,15 @@ func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve S
 		wg.Add(1)
 		go func(ws *Stats) {
 			defer wg.Done()
+			sc := env.Scratch.Get()
+			defer env.Scratch.Put(sc)
 			for j := range jobs {
-				sub, orig := g.Subgraph(j.comp)
-				subColors := decomposeComponent(ctx, sub, opts, solve, ws)
+				sub, orig := subgraphTimed(g, j.comp, ws)
+				subColors := decomposeComponent(ctx, sub, opts, solve, ws, sc)
 				for i, v := range orig {
 					colors[v] = subColors[i]
 				}
+				sc.PutInts(subColors)
 			}
 		}(&workerStats[w])
 	}
@@ -190,10 +247,22 @@ func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve S
 	return colors, st
 }
 
+// subgraphTimed extracts an induced subgraph under the Partition stage
+// clock (structural splitting is partition work wherever it happens).
+func subgraphTimed(g *graph.Graph, vertices []int, st *Stats) (*graph.Graph, []int) {
+	t0 := time.Now()
+	sub, orig := g.Subgraph(vertices)
+	st.AddStage(pipeline.StagePartition, time.Since(t0))
+	return sub, orig
+}
+
 // callSolver invokes the engine for one piece unless ctx is already
 // cancelled, in which case the linear-time heuristic colors it instead
 // (the piece is connected, so quality degrades but validity never does).
-func callSolver(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+// Either way the piece is one Dispatch-stage region.
+func callSolver(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats, sc *pipeline.Scratch) []int {
+	t0 := time.Now()
+	defer func() { st.AddStage(pipeline.StageDispatch, time.Since(t0)) }()
 	select {
 	case <-ctx.Done():
 		st.Fallbacks++
@@ -201,15 +270,15 @@ func callSolver(ctx context.Context, g *graph.Graph, opts Options, solve Solver,
 		return coloring.Linear(g, opts.Linear)
 	default:
 		st.SolverCalls++
-		return solve(g)
+		return solve(g, sc)
 	}
 }
 
 // decomposeComponent handles one connected component: peel, solve the core
 // (via biconnected + GH division), then pop the peel stack.
-func decomposeComponent(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func decomposeComponent(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats, sc *pipeline.Scratch) []int {
 	n := g.N()
-	colors := make([]int, n)
+	colors := sc.Ints(n)
 	for i := range colors {
 		colors[i] = coloring.Uncolored
 	}
@@ -221,45 +290,60 @@ func decomposeComponent(ctx context.Context, g *graph.Graph, opts Options, solve
 			core[i] = i
 		}
 	} else {
+		tSimp := time.Now()
 		stack, core = g.PeelOrder(opts.K, opts.MaxStitchDegree, nil)
+		st.AddStage(pipeline.StageSimplify, time.Since(tSimp))
 		st.Peeled += len(stack)
 	}
 
 	if len(core) > 0 {
-		coreSub, coreOrig := g.Subgraph(core)
+		coreSub, coreOrig := subgraphTimed(g, core, st)
 		// Peeling can disconnect the core; re-split into components.
-		for _, cc := range coreSub.Components() {
-			ccSub, ccOrig := coreSub.Subgraph(cc)
-			ccColors := solveCore(ctx, ccSub, opts, solve, st)
+		tPart := time.Now()
+		coreComps := coreSub.Components()
+		st.AddStage(pipeline.StagePartition, time.Since(tPart))
+		for _, cc := range coreComps {
+			ccSub, ccOrig := subgraphTimed(coreSub, cc, st)
+			ccColors := solveCore(ctx, ccSub, opts, solve, st, sc)
 			for i, v := range ccOrig {
 				colors[coreOrig[v]] = ccColors[i]
 			}
+			// Engine-returned slices are freshly allocated and consumed by
+			// the copy above, so adopting them into the worker's freelist
+			// is safe and lets the next piece reuse the memory.
+			sc.PutInts(ccColors)
 		}
 	}
 
 	// Pop the stack in reverse removal order; a conflict-free color always
 	// exists (the peeling invariant), stitch cost breaks ties.
+	tStitch := time.Now()
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
 		colors[v] = cheapestColor(g, colors, v, opts.K, opts.Alpha)
+	}
+	if len(stack) > 0 {
+		st.AddStage(pipeline.StageStitch, time.Since(tStitch))
 	}
 	return colors
 }
 
 // solveCore applies the biconnected split to one connected core component.
-func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats, sc *pipeline.Scratch) []int {
 	if opts.DisableBiconnected {
 		st.Blocks++
-		return solveBlock(ctx, g, opts, solve, st)
+		return solveBlock(ctx, g, opts, solve, st, sc)
 	}
+	tPart := time.Now()
 	blocks, _ := g.BiconnectedComponents()
+	st.AddStage(pipeline.StagePartition, time.Since(tPart))
 	if len(blocks) == 1 {
 		st.Blocks++
-		return solveBlock(ctx, g, opts, solve, st)
+		return solveBlock(ctx, g, opts, solve, st, sc)
 	}
 
 	n := g.N()
-	colors := make([]int, n)
+	colors := sc.Ints(n)
 	for i := range colors {
 		colors[i] = coloring.Uncolored
 	}
@@ -281,10 +365,11 @@ func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, 
 		queue = queue[1:]
 		st.Blocks++
 		block := blocks[bi]
-		bsub, borig := g.Subgraph(block)
-		bcolors := solveBlock(ctx, bsub, opts, solve, st)
+		bsub, borig := subgraphTimed(g, block, st)
+		bcolors := solveBlock(ctx, bsub, opts, solve, st, sc)
 
 		// Find the anchor: a vertex already colored by an earlier block.
+		tStitch := time.Now()
 		rot := 0
 		for i, v := range borig {
 			if colors[v] != coloring.Uncolored {
@@ -297,6 +382,8 @@ func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, 
 				colors[v] = (bcolors[i] + rot) % opts.K
 			}
 		}
+		sc.PutInts(bcolors)
+		st.AddStage(pipeline.StageStitch, time.Since(tStitch))
 		for _, v := range block {
 			for _, nb := range vertexBlocks[v] {
 				if !done[nb] {
@@ -311,38 +398,45 @@ func solveCore(ctx context.Context, g *graph.Graph, opts Options, solve Solver, 
 
 // solveBlock applies GH-tree (K−1)-cut division to one biconnected block
 // (Algorithm 3) and reassembles with color rotations.
-func solveBlock(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats) []int {
+func solveBlock(ctx context.Context, g *graph.Graph, opts Options, solve Solver, st *Stats, sc *pipeline.Scratch) []int {
 	n := g.N()
 	if opts.DisableGHTree || n > opts.GHTreeMaxN || n < 2 {
-		return callSolver(ctx, g, opts, solve, st)
+		return callSolver(ctx, g, opts, solve, st, sc)
 	}
-	tr := ghtree.BuildFromConflictGraphContext(ctx, g)
+	tPart := time.Now()
+	tr := ghtree.BuildFromConflictGraphScratch(ctx, g, sc)
 	if tr == nil {
 		// Cancelled during (or before) the n−1 max-flows: skip GH division
 		// and let callSolver route the whole block to the linear fallback.
-		return callSolver(ctx, g, opts, solve, st)
+		st.AddStage(pipeline.StagePartition, time.Since(tPart))
+		return callSolver(ctx, g, opts, solve, st, sc)
 	}
 	comps := tr.ComponentsBelowWeight(int64(opts.K))
+	st.AddStage(pipeline.StagePartition, time.Since(tPart))
 	if len(comps) == 1 {
-		return callSolver(ctx, g, opts, solve, st)
+		return callSolver(ctx, g, opts, solve, st, sc)
 	}
 	st.GHComponents += len(comps)
 
-	colors := make([]int, n)
+	colors := sc.Ints(n)
 	for i := range colors {
 		colors[i] = coloring.Uncolored
 	}
 	for _, comp := range comps {
-		csub, corig := g.Subgraph(comp)
+		csub, corig := subgraphTimed(g, comp, st)
 		// The piece may itself be disconnected once cut edges are ignored;
 		// components inside it are solved independently (their relative
 		// rotation is later fixed edge by edge).
-		for _, cc := range csub.Components() {
-			ccSub, ccOrig := csub.Subgraph(cc)
-			ccColors := callSolver(ctx, ccSub, opts, solve, st)
+		tSplit := time.Now()
+		ccs := csub.Components()
+		st.AddStage(pipeline.StagePartition, time.Since(tSplit))
+		for _, cc := range ccs {
+			ccSub, ccOrig := subgraphTimed(csub, cc, st)
+			ccColors := callSolver(ctx, ccSub, opts, solve, st, sc)
 			for i, v := range ccOrig {
 				colors[corig[v]] = ccColors[i]
 			}
+			sc.PutInts(ccColors)
 		}
 	}
 
@@ -350,6 +444,7 @@ func solveBlock(ctx context.Context, g *graph.Graph, opts Options, solve Solver,
 	// first, rotate the subtree side by the value that minimizes the cost
 	// of the crossing edges. The cut-tree property bounds the crossing
 	// conflict edges by K−1, so a conflict-free rotation always exists.
+	tStitch := time.Now()
 	ces := g.ConflictEdges()
 	ses := g.StitchEdges()
 	for _, cut := range tr.CutEdgesBelowWeight(int64(opts.K)) {
@@ -396,6 +491,7 @@ func solveBlock(ctx context.Context, g *graph.Graph, opts Options, solve Solver,
 			}
 		}
 	}
+	st.AddStage(pipeline.StageStitch, time.Since(tStitch))
 	return colors
 }
 

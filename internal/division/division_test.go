@@ -10,12 +10,13 @@ import (
 
 	"mpl/internal/coloring"
 	"mpl/internal/graph"
+	"mpl/internal/pipeline"
 )
 
 // exactSolver is the reference per-component engine for the tests: full
 // branch-and-bound on the component.
 func exactSolver(k int, alpha float64) Solver {
-	return func(g *graph.Graph) []int {
+	return func(g *graph.Graph, _ *pipeline.Scratch) []int {
 		res := coloring.FromGraph(g).Backtrack(k, alpha, 0)
 		return res.Colors
 	}
@@ -225,11 +226,11 @@ func TestGHTreeMaxNCap(t *testing.T) {
 	}
 	opts := Options{K: 4, Alpha: 0.1, DisablePeeling: true, GHTreeMaxN: 2}
 	var maxSeen int
-	solver := func(sub *graph.Graph) []int {
+	solver := func(sub *graph.Graph, sc *pipeline.Scratch) []int {
 		if sub.N() > maxSeen {
 			maxSeen = sub.N()
 		}
-		return exactSolver(4, 0.1)(sub)
+		return exactSolver(4, 0.1)(sub, sc)
 	}
 	if _, st := Decompose(g, opts, solver); st.GHComponents != 0 {
 		t.Fatalf("GH ran despite cap: %+v", st)
@@ -277,7 +278,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("trial %d: vertex %d: serial %d, parallel %d", trial, v, serial[v], par[v])
 			}
 		}
-		if !reflect.DeepEqual(sst, pst) {
+		if !statsEqualIgnoringTime(sst, pst) {
 			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, sst, pst)
 		}
 	}
@@ -301,6 +302,77 @@ func TestParallelRace(t *testing.T) {
 	}
 }
 
+// statsEqualIgnoringTime compares two Stats up to wall-clock noise: all
+// counters, histograms, and per-stage region *counts* must match (the
+// stage structure is deterministic at any worker count), while stage wall
+// times and allocation deltas — genuinely run-dependent — are ignored.
+func statsEqualIgnoringTime(a, b Stats) bool {
+	sa, sb := a, b
+	sa.Stages, sb.Stages = nil, nil
+	if !reflect.DeepEqual(sa, sb) {
+		return false
+	}
+	if len(a.Stages) != len(b.Stages) {
+		return false
+	}
+	for name, av := range a.Stages {
+		bv, ok := b.Stages[name]
+		if !ok || av.Calls != bv.Calls {
+			return false
+		}
+	}
+	return true
+}
+
+// probeMapValue builds a "1 everywhere" probe for a Stats map value type:
+// plain counters get 1, struct values (pipeline.StageStats) get every
+// numeric field set to 1.
+func probeMapValue(t *testing.T, elem reflect.Type) reflect.Value {
+	t.Helper()
+	switch elem.Kind() {
+	case reflect.Int:
+		return reflect.ValueOf(1).Convert(elem)
+	case reflect.Struct:
+		p := reflect.New(elem).Elem()
+		for j := 0; j < p.NumField(); j++ {
+			switch p.Field(j).Kind() {
+			case reflect.Int, reflect.Int64:
+				p.Field(j).SetInt(1)
+			case reflect.Uint, reflect.Uint64:
+				p.Field(j).SetUint(1)
+			default:
+				t.Fatalf("map value field %s has kind %s; teach this test how to probe it",
+					elem.Field(j).Name, p.Field(j).Kind())
+			}
+		}
+		return p
+	default:
+		t.Fatalf("map value kind %s unsupported; teach this test how to probe it", elem.Kind())
+		return reflect.Value{}
+	}
+}
+
+// checkMerged verifies a probed value doubled after two addWorker calls.
+func checkMerged(t *testing.T, field string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		if v.Int() != 2 {
+			t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", field)
+		}
+	case reflect.Uint, reflect.Uint64:
+		if v.Uint() != 2 {
+			t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", field)
+		}
+	case reflect.Struct:
+		for j := 0; j < v.NumField(); j++ {
+			checkMerged(t, field+"."+v.Type().Field(j).Name, v.Field(j))
+		}
+	default:
+		t.Fatalf("field %s kind %s unsupported", field, v.Kind())
+	}
+}
+
 // TestStatsMergeCoversAllFields guards the parallel stats merge against
 // silent under-reporting: every numeric field of Stats except Components
 // (which is global, not per-worker) must be summed by addWorker. A field
@@ -313,9 +385,9 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 		case reflect.Int:
 			rv.Field(i).SetInt(1)
 		case reflect.Map:
-			// Histogram fields (Engines): one probe bucket, count 1.
+			// Histogram fields (Engines, Stages): one probe bucket.
 			m := reflect.MakeMap(rv.Field(i).Type())
-			m.SetMapIndex(reflect.ValueOf("probe"), reflect.ValueOf(1))
+			m.SetMapIndex(reflect.ValueOf("probe"), probeMapValue(t, rv.Field(i).Type().Elem()))
 			rv.Field(i).Set(m)
 		default:
 			t.Fatalf("Stats field %s has kind %s; teach this test (and addWorker) how to merge it",
@@ -336,14 +408,48 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 		}
 		switch dv.Field(i).Kind() {
 		case reflect.Int:
-			if dv.Field(i).Int() != 2 {
-				t.Errorf("Stats field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
-			}
+			checkMerged(t, f.Name, dv.Field(i))
 		case reflect.Map:
 			got := dv.Field(i).MapIndex(reflect.ValueOf("probe"))
-			if !got.IsValid() || got.Int() != 2 {
+			if !got.IsValid() {
 				t.Errorf("Stats map field %s is not merged by addWorker; parallel runs would under-report it", f.Name)
+				continue
 			}
+			checkMerged(t, f.Name, got)
+		}
+	}
+}
+
+// TestStageTelemetry pins the stage accounting contract: a run that peels,
+// splits and solves must report simplify/partition/dispatch/stitch regions
+// with dispatch calls equal to solver invocations (engine + fallback), and
+// the parallel run must report the identical region structure.
+func TestStageTelemetry(t *testing.T) {
+	// Three disjoint K5 cliques (conflict degree 4 = K, so they survive
+	// peeling and reach the solver) with a peelable two-vertex tail each.
+	g := graph.New(21)
+	for base := 0; base < 15; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddConflict(base+i, base+j)
+			}
+		}
+		tail := 15 + 2*(base/5)
+		g.AddConflict(base, tail)
+		g.AddConflict(tail, tail+1)
+	}
+	_, st := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	for _, name := range []string{pipeline.StageSimplify, pipeline.StagePartition, pipeline.StageDispatch} {
+		if st.Stages[name].Calls == 0 {
+			t.Errorf("stage %q not recorded: %+v", name, st.Stages)
+		}
+	}
+	if got := st.Stages[pipeline.StageDispatch].Calls; got != st.SolverCalls+st.Fallbacks {
+		t.Errorf("dispatch calls = %d, want solver+fallback = %d", got, st.SolverCalls+st.Fallbacks)
+	}
+	for _, name := range []string{pipeline.StageBuild, pipeline.StageMerge} {
+		if _, ok := st.Stages[name]; ok {
+			t.Errorf("stage %q is owned by internal/core and must not be recorded here", name)
 		}
 	}
 }
@@ -357,7 +463,7 @@ func TestCancelledContextFallsBackToLinear(t *testing.T) {
 	g := randomGraph(rng, 80, 80, 20)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	engine := func(sub *graph.Graph) []int {
+	engine := func(sub *graph.Graph, _ *pipeline.Scratch) []int {
 		t.Error("engine must not run once the context is cancelled")
 		return make([]int, sub.N())
 	}
@@ -370,7 +476,7 @@ func TestCancelledContextFallsBackToLinear(t *testing.T) {
 		t.Fatalf("expected all-fallback stats, got %+v", sst)
 	}
 	par, pst := DecomposeContext(ctx, g, Options{K: 4, Alpha: 0.1, DisablePeeling: true, Workers: 4}, engine)
-	if !reflect.DeepEqual(sst, pst) {
+	if !statsEqualIgnoringTime(sst, pst) {
 		t.Fatalf("serial stats %+v != parallel stats %+v", sst, pst)
 	}
 	for v := range serial {
@@ -395,7 +501,7 @@ func TestWorkerPoolDrainsOnCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls atomic.Int64
-	engine := func(sub *graph.Graph) []int {
+	engine := func(sub *graph.Graph, _ *pipeline.Scratch) []int {
 		if calls.Add(1) == 5 {
 			cancel()
 		}

@@ -25,6 +25,7 @@ import (
 
 	"mpl/internal/graph"
 	"mpl/internal/maxflow"
+	"mpl/internal/pipeline"
 )
 
 // WeightedEdge is an undirected edge with capacity W.
@@ -56,7 +57,7 @@ type node struct {
 // components are joined by weight-0 tree edges, consistent with their
 // minimum cut being 0. Parallel edges are allowed and their capacities add.
 func Build(n int, edges []WeightedEdge) *Tree {
-	return buildCtx(nil, n, edges)
+	return buildCtx(nil, n, edges, nil)
 }
 
 // BuildContext is Build with cooperative cancellation: ctx is polled before
@@ -64,10 +65,10 @@ func Build(n int, edges []WeightedEdge) *Tree {
 // and the function returns nil when cancelled before the tree is complete —
 // a partial contraction tree is not a cut tree, so no partial result exists.
 func BuildContext(ctx context.Context, n int, edges []WeightedEdge) *Tree {
-	return buildCtx(ctx.Done(), n, edges)
+	return buildCtx(ctx.Done(), n, edges, nil)
 }
 
-func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge) *Tree {
+func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge, sc *pipeline.Scratch) *Tree {
 	t := &Tree{Parent: make([]int, n), Weight: make([]int64, n)}
 	if n == 0 {
 		return t
@@ -104,6 +105,21 @@ func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge) *Tree {
 		drop(b, a)
 	}
 
+	// Reusable per-contraction buffers, carved once per build: the vertex
+	// contraction map and the filtered contracted edge list the max-flow
+	// network is built from (capacity is the full edge count, so the
+	// per-contraction appends below never reallocate).
+	vmap := sc.Int32s(n)
+	cu := sc.Int32s(len(edges))[:0]
+	cv := sc.Int32s(len(edges))[:0]
+	cw := sc.Int64s(len(edges))[:0]
+	defer func() {
+		sc.PutInt32s(vmap)
+		sc.PutInt32s(cu[:0])
+		sc.PutInt32s(cv[:0])
+		sc.PutInt64s(cw[:0])
+	}()
+
 	// Work queue of node indices that may still hold multiple vertices.
 	queue := []int{0}
 	for len(queue) > 0 {
@@ -124,7 +140,6 @@ func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge) *Tree {
 
 		// Contract each subtree hanging off x into a single vertex.
 		// vmap[v] = contracted-graph vertex for original vertex v.
-		vmap := make([]int32, n)
 		for i := range vmap {
 			vmap[i] = -1
 		}
@@ -159,15 +174,19 @@ func buildCtx(done <-chan struct{}, n int, edges []WeightedEdge) *Tree {
 			}
 		}
 
-		nw := maxflow.NewNetwork(next)
+		cu, cv, cw = cu[:0], cv[:0], cw[:0]
 		for _, e := range edges {
 			mu, mv := vmap[e.U], vmap[e.V]
 			if mu != mv && mu >= 0 && mv >= 0 {
-				nw.AddUndirectedEdge(int(mu), int(mv), e.W)
+				cu = append(cu, mu)
+				cv = append(cv, mv)
+				cw = append(cw, e.W)
 			}
 		}
+		nw := maxflow.BuildUndirected(next, cu, cv, cw, sc)
 		f := nw.MaxFlow(int(vmap[s]), int(vmap[tt]))
 		side := nw.MinCutSide(int(vmap[s]))
+		nw.ReleaseScratch(sc)
 
 		// Split x into xs (s side) and xt.
 		var vs, vt []int
@@ -240,6 +259,16 @@ func BuildFromConflictGraph(g *graph.Graph) *Tree {
 // cancellation semantics of BuildContext (nil when cancelled).
 func BuildFromConflictGraphContext(ctx context.Context, g *graph.Graph) *Tree {
 	return BuildContext(ctx, g.N(), conflictEdges(g))
+}
+
+// BuildFromConflictGraphScratch is BuildFromConflictGraphContext with the
+// contraction maps and max-flow networks of the n−1 flow computations
+// carved from the worker's scratch arena (nil-safe) — the division
+// pipeline's Partition stage calls this once per GH-divided block, and
+// without pooling those throwaway networks dominate the whole solve's
+// allocation profile. The resulting tree is identical.
+func BuildFromConflictGraphScratch(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) *Tree {
+	return buildCtx(ctx.Done(), g.N(), conflictEdges(g), sc)
 }
 
 func conflictEdges(g *graph.Graph) []WeightedEdge {

@@ -1,6 +1,7 @@
 package ghtree
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"mpl/internal/graph"
 	"mpl/internal/maxflow"
+	"mpl/internal/pipeline"
 )
 
 func TestFig6GHTree(t *testing.T) {
@@ -247,5 +249,28 @@ func TestComponentsPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBuildScratchIdenticalTree(t *testing.T) {
+	// The scratch-carved build must emit the byte-identical tree — the
+	// division pipeline's GH cuts (and therefore the final coloring)
+	// depend on it.
+	rng := rand.New(rand.NewSource(23))
+	sc := pipeline.NewScratchPool().Get()
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(14)
+		g := graph.New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddConflict(u, v)
+			}
+		}
+		ref := BuildFromConflictGraph(g)
+		got := BuildFromConflictGraphScratch(context.Background(), g, sc)
+		if !reflect.DeepEqual(ref.Parent, got.Parent) || !reflect.DeepEqual(ref.Weight, got.Weight) {
+			t.Fatalf("trial %d: scratch tree differs:\nref %v / %v\ngot %v / %v", trial, ref.Parent, ref.Weight, got.Parent, got.Weight)
+		}
 	}
 }

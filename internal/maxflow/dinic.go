@@ -6,7 +6,11 @@
 // symmetric pair used when cutting the undirected decomposition graph.
 package maxflow
 
-import "fmt"
+import (
+	"fmt"
+
+	"mpl/internal/pipeline"
+)
 
 const inf = int64(1) << 62
 
@@ -19,6 +23,12 @@ type Network struct {
 	head  [][]int32
 	level []int32
 	iter  []int32
+	// queue is the BFS work list, retained across MaxFlow phases (and, for
+	// scratch-built networks, across network constructions).
+	queue []int32
+	// headBack is the flat backing of head for scratch-built networks
+	// (BuildUndirected); nil for incrementally built ones.
+	headBack []int32
 }
 
 // NewNetwork returns an empty network with n vertices.
@@ -63,6 +73,69 @@ func (nw *Network) AddUndirectedEdge(u, v int, c int64) {
 	nw.addArc(v, u, c)
 }
 
+// BuildUndirected constructs, in one preallocated shot, exactly the
+// network that calling AddUndirectedEdge(u[i], v[i], w[i]) for every i in
+// order would produce — identical arc indices (arcs 2i and 2i+1 are the
+// i-th edge's two directions, preserving the ei^1 residual pairing) and
+// identical per-vertex arc order, so every flow and min-cut result is
+// bit-for-bit the same. All storage is carved from the scratch arena
+// (nil-safe): two passes over the edges (degree count, fill) replace the
+// per-arc append storm of the incremental API, which is what makes the
+// Gomory–Hu construction's n−1 throwaway networks affordable on the hot
+// path. Pair with ReleaseScratch.
+func BuildUndirected(n int, u, v []int32, w []int64, sc *pipeline.Scratch) *Network {
+	m := len(u)
+	arcs := 2 * m
+	nw := &Network{
+		n:        n,
+		to:       sc.Int32s(arcs),
+		cap:      sc.Int64s(arcs),
+		base:     sc.Int64s(arcs),
+		level:    sc.Int32s(n),
+		iter:     sc.Int32s(n),
+		queue:    sc.Int32s(n)[:0],
+		headBack: sc.Int32s(arcs),
+		head:     make([][]int32, n),
+	}
+	// Pass 1: arc count per vertex (level doubles as the counter — it is
+	// zeroed again below, before any flow runs).
+	deg := nw.level
+	for i := 0; i < m; i++ {
+		deg[u[i]]++
+		deg[v[i]]++
+	}
+	off := 0
+	for x := 0; x < n; x++ {
+		d := int(deg[x])
+		nw.head[x] = nw.headBack[off : off : off+d]
+		off += d
+	}
+	// Pass 2: fill in AddUndirectedEdge order.
+	for i := 0; i < m; i++ {
+		ai := int32(2 * i)
+		bi := ai + 1
+		nw.head[u[i]] = append(nw.head[u[i]], ai)
+		nw.to[ai], nw.cap[ai], nw.base[ai] = v[i], w[i], w[i]
+		nw.head[v[i]] = append(nw.head[v[i]], bi)
+		nw.to[bi], nw.cap[bi], nw.base[bi] = u[i], w[i], w[i]
+	}
+	clear(deg)
+	return nw
+}
+
+// ReleaseScratch returns a BuildUndirected network's carved buffers to the
+// arena. The network must not be used afterwards.
+func (nw *Network) ReleaseScratch(sc *pipeline.Scratch) {
+	sc.PutInt32s(nw.to)
+	sc.PutInt64s(nw.cap)
+	sc.PutInt64s(nw.base)
+	sc.PutInt32s(nw.level)
+	sc.PutInt32s(nw.iter)
+	sc.PutInt32s(nw.queue)
+	sc.PutInt32s(nw.headBack)
+	nw.to, nw.cap, nw.base, nw.level, nw.iter, nw.queue, nw.headBack, nw.head = nil, nil, nil, nil, nil, nil, nil, nil
+}
+
 func (nw *Network) checkPair(u, v int) {
 	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
 		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, nw.n))
@@ -83,12 +156,14 @@ func (nw *Network) bfs(s, t int) bool {
 	for i := range nw.level {
 		nw.level[i] = -1
 	}
-	queue := make([]int32, 0, nw.n)
+	queue := nw.queue[:0]
+	if cap(queue) < nw.n {
+		queue = make([]int32, 0, nw.n)
+	}
 	queue = append(queue, int32(s))
 	nw.level[s] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		for _, ei := range nw.head[u] {
 			v := nw.to[ei]
 			if nw.cap[ei] > 0 && nw.level[v] < 0 {
@@ -97,6 +172,7 @@ func (nw *Network) bfs(s, t int) bool {
 			}
 		}
 	}
+	nw.queue = queue[:0]
 	return nw.level[t] >= 0
 }
 

@@ -3,6 +3,8 @@ package maxflow
 import (
 	"math/rand"
 	"testing"
+
+	"mpl/internal/pipeline"
 	"testing/quick"
 )
 
@@ -194,5 +196,51 @@ func TestMinCutSideSeparates(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBuildUndirectedMatchesIncremental(t *testing.T) {
+	// BuildUndirected must be indistinguishable from AddUndirectedEdge
+	// calls in the same order: same flows, same min-cut sides (the
+	// Gomory–Hu construction depends on identical arc enumeration, not
+	// just identical flow values). Exercised both with and without a
+	// scratch arena, and across arena reuse.
+	rng := rand.New(rand.NewSource(11))
+	sc := pipeline.NewScratchPool().Get()
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		m := rng.Intn(30)
+		var us, vs []int32
+		var ws []int64
+		ref := NewNetwork(n)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := int64(1 + rng.Intn(5))
+			ref.AddUndirectedEdge(u, v, w)
+			us = append(us, int32(u))
+			vs = append(vs, int32(v))
+			ws = append(ws, w)
+		}
+		bulk := BuildUndirected(n, us, vs, ws, sc)
+		s, tt := 0, 1+rng.Intn(n-1)
+		ref.Reset()
+		bulk.Reset()
+		fRef := ref.MaxFlow(s, tt)
+		fBulk := bulk.MaxFlow(s, tt)
+		if fRef != fBulk {
+			t.Fatalf("trial %d: flow %d != incremental %d", trial, fBulk, fRef)
+		}
+		sideRef := ref.MinCutSide(s)
+		sideBulk := bulk.MinCutSide(s)
+		for v := range sideRef {
+			if sideRef[v] != sideBulk[v] {
+				t.Fatalf("trial %d: cut side differs at vertex %d", trial, v)
+			}
+		}
+		bulk.ReleaseScratch(sc)
 	}
 }

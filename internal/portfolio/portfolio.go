@@ -31,6 +31,7 @@ import (
 
 	"mpl/internal/coloring"
 	"mpl/internal/graph"
+	"mpl/internal/pipeline"
 )
 
 // Class identifies one candidate engine, in ascending quality-per-cost
@@ -64,8 +65,11 @@ func (c Class) String() string {
 
 // Solver colors one connected component, honoring ctx cooperatively: on
 // cancellation it returns its incumbent (a complete, valid coloring) rather
-// than blocking — the contract every engine in this repository obeys.
-type Solver func(ctx context.Context, g *graph.Graph) []int
+// than blocking — the contract every engine in this repository obeys. The
+// scratch arena (nil-safe) is the worker's reusable engine workspace; a
+// solver must be done with every carved buffer by the time its colors are
+// consumed, because the next solve on the same arena reclaims them.
+type Solver func(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) []int
 
 // Profile captures the component structure the selection thresholds read.
 type Profile struct {
@@ -248,10 +252,12 @@ type Outcome struct {
 	ProvenOptimal bool
 }
 
-// Auto profiles g, selects a class, and runs it.
-func Auto(ctx context.Context, g *graph.Graph, t Thresholds, k int, engines [NumClasses]Solver) ([]int, Outcome) {
+// Auto profiles g, selects a class, and runs it on the caller's scratch
+// arena (the dispatching division worker owns exactly one solve at a time,
+// so sharing its arena is safe).
+func Auto(ctx context.Context, g *graph.Graph, t Thresholds, k int, engines [NumClasses]Solver, sc *pipeline.Scratch) ([]int, Outcome) {
 	class := t.Select(Analyze(g), k)
-	return engines[class](ctx, g), Outcome{Winner: class}
+	return engines[class](ctx, g, sc), Outcome{Winner: class}
 }
 
 // Race profiles g, picks the candidate pair, and runs both concurrently
@@ -262,10 +268,16 @@ func Auto(ctx context.Context, g *graph.Graph, t Thresholds, k int, engines [Num
 // better cost wins, ties going to the primary so that a race whose
 // secondary cannot strictly beat auto's choice returns byte-identical
 // colors to auto mode.
-func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float64, budget time.Duration, engines [NumClasses]Solver) ([]int, Outcome) {
+// Racers lease their own scratch arenas from pool (nil disables pooling)
+// rather than sharing the caller's: a cancelled loser keeps running — and
+// writing into its arena — until its next checkpoint, which may be after
+// Race has returned, so the caller's arena must never be exposed to it.
+func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float64, budget time.Duration, engines [NumClasses]Solver, pool *pipeline.ScratchPool) ([]int, Outcome) {
 	primary, secondary := t.RacePair(Analyze(g), k)
 	if primary == secondary {
-		colors, out := engines[primary](ctx, g), Outcome{Winner: primary}
+		sc := pool.Get()
+		colors, out := engines[primary](ctx, g, sc), Outcome{Winner: primary}
+		pool.Put(sc)
 		return colors, out
 	}
 	var rctx context.Context
@@ -287,7 +299,12 @@ func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float6
 	// leak-freedom the race/cancellation tests pin down.
 	ch := make(chan attempt, 2)
 	run := func(c Class) {
-		colors := engines[c](rctx, g)
+		// The racer goroutine owns its lease: the arena returns to the
+		// pool only once this engine has actually finished, which for a
+		// cancelled loser can be after Race itself has returned.
+		sc := pool.Get()
+		colors := engines[c](rctx, g, sc)
+		pool.Put(sc)
 		ch <- attempt{class: c, colors: colors, cost: coloring.Cost(g, colors, alpha)}
 	}
 	go run(primary)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mpl/internal/graph"
+	"mpl/internal/pipeline"
 )
 
 func path(n int) *graph.Graph {
@@ -96,7 +97,7 @@ func raceGraph() *graph.Graph { return clique(3) }
 
 // stub builds an engine that waits for delay (or ctx) and returns colors.
 func stub(delay time.Duration, colors []int, ran *atomic.Int32) Solver {
-	return func(ctx context.Context, g *graph.Graph) []int {
+	return func(ctx context.Context, g *graph.Graph, _ *pipeline.Scratch) []int {
 		if ran != nil {
 			ran.Add(1)
 		}
@@ -113,13 +114,13 @@ func TestRaceFirstProvablyOptimalWinsAndCancelsLoser(t *testing.T) {
 	cancelled := make(chan struct{})
 	var engines [NumClasses]Solver
 	// Primary (ILP) would take forever; it must be cancelled.
-	engines[ILP] = func(ctx context.Context, _ *graph.Graph) []int {
+	engines[ILP] = func(ctx context.Context, _ *graph.Graph, _ *pipeline.Scratch) []int {
 		<-ctx.Done()
 		close(cancelled)
 		return []int{0, 0, 0} // cost-3 incumbent
 	}
 	engines[SDPBacktrack] = stub(0, []int{0, 1, 2}, nil) // cost 0, instant
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
 	if !out.ProvenOptimal || out.Winner != SDPBacktrack || !out.Raced || out.Loser != ILP {
 		t.Fatalf("outcome %+v", out)
 	}
@@ -141,7 +142,7 @@ func TestRaceTieGoesToPrimary(t *testing.T) {
 	// race degenerates to auto deterministically.
 	engines[ILP] = stub(30*time.Millisecond, []int{1, 1, 1}, nil)
 	engines[SDPBacktrack] = stub(0, []int{2, 2, 2}, nil)
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
 	if out.Winner != ILP || out.ProvenOptimal {
 		t.Fatalf("outcome %+v", out)
 	}
@@ -155,7 +156,7 @@ func TestRaceStrictlyBetterSecondaryWins(t *testing.T) {
 	var engines [NumClasses]Solver
 	engines[ILP] = stub(0, []int{0, 0, 0}, nil)          // cost 3 (all edges conflict)
 	engines[SDPBacktrack] = stub(0, []int{0, 1, 1}, nil) // cost 1 — strictly better, nonzero
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
 	if out.Winner != SDPBacktrack || out.ProvenOptimal {
 		t.Fatalf("outcome %+v, colors %v", out, colors)
 	}
@@ -169,7 +170,7 @@ func TestRaceBudgetBoundsTheRace(t *testing.T) {
 	engines[ILP] = stub(time.Hour, []int{0, 0, 0}, nil)
 	engines[SDPBacktrack] = stub(time.Hour, []int{1, 1, 1}, nil)
 	start := time.Now()
-	_, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 50*time.Millisecond, engines)
+	_, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 50*time.Millisecond, engines, nil)
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("race ran %v past a 50ms budget", elapsed)
 	}
@@ -184,7 +185,7 @@ func TestAutoDispatchesSelectedClass(t *testing.T) {
 	for c := Class(0); c < NumClasses; c++ {
 		engines[c] = stub(0, []int{0, 1, 2}, &ran[c])
 	}
-	_, out := Auto(context.Background(), raceGraph(), Thresholds{}, 4, engines)
+	_, out := Auto(context.Background(), raceGraph(), Thresholds{}, 4, engines, nil)
 	if out.Winner != ILP || out.Raced {
 		t.Fatalf("outcome %+v", out)
 	}

@@ -26,6 +26,7 @@ import (
 
 	"mpl/internal/graph"
 	"mpl/internal/matrix"
+	"mpl/internal/pipeline"
 )
 
 // Options configures a relaxation solve.
@@ -101,11 +102,29 @@ func Solve(g *graph.Graph, opts Options) *Solution {
 // consumers can still round — quality degrades gracefully with the time
 // allowed rather than the call hanging until convergence.
 func SolveContext(ctx context.Context, g *graph.Graph, opts Options) *Solution {
+	return SolveScratch(ctx, g, opts, nil)
+}
+
+// SolveScratch is SolveContext carving its matrix workspace — the factor
+// rows, gradients, and line-search saves of every restart — from the
+// worker's scratch arena instead of the heap, so repeated solves on one
+// worker stop re-allocating the (solve-count × n × rank)-sized hot-path
+// memory. The arena is reset at the start of each solve, which means the
+// returned Solution's Vectors alias scratch memory: they are valid only
+// until the next SolveScratch call on the same arena. Every consumer in
+// this repository (the greedy/backtrack rounding of one Dispatch region)
+// finishes with the Solution before its worker solves the next piece; a
+// caller that needs to retain vectors must copy them or pass a nil
+// scratch, which allocates fresh memory exactly like SolveContext. The
+// numerical trajectory is bit-identical either way — the workspace only
+// changes where the floats live.
+func SolveScratch(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch) *Solution {
 	n := g.N()
 	opts = opts.withDefaults(n)
 	if n == 0 {
 		return &Solution{}
 	}
+	sc.ResetFloats()
 
 	ce := g.ConflictEdges()
 	se := g.StitchEdges()
@@ -116,7 +135,7 @@ func SolveContext(ctx context.Context, g *graph.Graph, opts Options) *Solution {
 	var best *state
 restarts:
 	for restart := 0; restart < opts.Restarts; restart++ {
-		st := newState(n, opts.Rank, rng)
+		st := newState(n, opts.Rank, rng, sc)
 		st.descend(done, ce, se, opts, target)
 		if best == nil || st.score(ce, target) < best.score(ce, target) {
 			best = st
@@ -136,16 +155,27 @@ restarts:
 type state struct {
 	v    [][]float64 // n unit rows
 	grad [][]float64
+	// saved is the line-search save buffer (n×r, one flat block). It lives
+	// on the state so the backtracking search stops allocating it once per
+	// iteration — the single largest allocation source of the old solver.
+	saved []float64
 }
 
-func newState(n, r int, rng *rand.Rand) *state {
+// newState carves one restart's workspace from the scratch arena (three
+// flat n×r blocks plus the row-header tables) and fills the factor rows
+// with the rng's normal deviates in the same row-major order as always —
+// pooling must not perturb the deterministic restart trajectory.
+func newState(n, r int, rng *rand.Rand, sc *pipeline.Scratch) *state {
+	vBack := sc.Floats(n * r)
+	gradBack := sc.Floats(n * r)
 	st := &state{
-		v:    make([][]float64, n),
-		grad: make([][]float64, n),
+		v:     make([][]float64, n),
+		grad:  make([][]float64, n),
+		saved: sc.Floats(n * r),
 	}
 	for i := 0; i < n; i++ {
-		st.v[i] = make([]float64, r)
-		st.grad[i] = make([]float64, r)
+		st.v[i] = vBack[i*r : (i+1)*r : (i+1)*r]
+		st.grad[i] = gradBack[i*r : (i+1)*r : (i+1)*r]
 		for j := 0; j < r; j++ {
 			st.v[i][j] = rng.NormFloat64()
 		}
@@ -280,7 +310,7 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 		}
 
 		// Backtracking line search along the projected direction.
-		saved := make([]float64, n*r)
+		saved := st.saved
 		for i := 0; i < n; i++ {
 			copy(saved[i*r:(i+1)*r], st.v[i])
 		}

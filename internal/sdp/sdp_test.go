@@ -1,11 +1,13 @@
 package sdp
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"mpl/internal/graph"
 	"mpl/internal/matrix"
+	"mpl/internal/pipeline"
 )
 
 func TestColoringVectorsInnerProducts(t *testing.T) {
@@ -268,5 +270,33 @@ func TestRestartsImproveOrMatch(t *testing.T) {
 	// Compare the penalized score proxy: objective + violation weight.
 	if many.Obj > one.Obj+50*one.MaxViolation*one.MaxViolation+0.05 {
 		t.Fatalf("restarts made things worse: %v vs %v", many.Obj, one.Obj)
+	}
+}
+
+func TestSolveScratchMatchesSolveContext(t *testing.T) {
+	// Pooled workspace must be a pure memory-placement change: the
+	// deterministic restart trajectory — and therefore every Gram entry —
+	// is bit-identical with and without a scratch arena, and across
+	// repeated solves on one arena (stale contents must never leak in).
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}} {
+		g.AddConflict(e[0], e[1])
+	}
+	g.AddStitch(1, 3)
+	opts := Options{K: 4, Alpha: 0.1, Seed: 7}
+	ref := Solve(g, opts)
+	sc := pipeline.NewScratchPool().Get()
+	for round := 0; round < 3; round++ {
+		got := SolveScratch(context.Background(), g, opts, sc)
+		if got.Obj != ref.Obj || got.MaxViolation != ref.MaxViolation {
+			t.Fatalf("round %d: obj/viol %v/%v != reference %v/%v", round, got.Obj, got.MaxViolation, ref.Obj, ref.MaxViolation)
+		}
+		for i := range ref.Vectors {
+			for j := range ref.Vectors[i] {
+				if got.Vectors[i][j] != ref.Vectors[i][j] {
+					t.Fatalf("round %d: vector (%d,%d) = %v, want %v", round, i, j, got.Vectors[i][j], ref.Vectors[i][j])
+				}
+			}
+		}
 	}
 }

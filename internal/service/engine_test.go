@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mpl/internal/core"
+	"mpl/internal/pipeline"
 )
 
 func TestEngineDistinguishesCacheKeys(t *testing.T) {
@@ -90,5 +91,52 @@ func TestStatsAggregateEngineHistograms(t *testing.T) {
 	st2.Engines["probe"] = 99
 	if svc.StatsSnapshot().Engines["probe"] != 0 {
 		t.Fatal("StatsSnapshot leaked its internal map")
+	}
+}
+
+func TestStatsAggregateStageTelemetry(t *testing.T) {
+	svc := New(Config{})
+	ctx := context.Background()
+
+	if _, _, err := svc.Decompose(ctx, denseGrid(4), core.Options{K: 4, Algorithm: core.AlgLinear}); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.StatsSnapshot()
+	for _, name := range []string{pipeline.StageBuild, pipeline.StagePartition, pipeline.StageDispatch, pipeline.StageMerge} {
+		if st.Stages[name].Calls == 0 {
+			t.Errorf("aggregate missing stage %q after an executed solve: %+v", name, st.Stages)
+		}
+	}
+	if st.Stages[pipeline.StageBuild].Calls != 1 {
+		t.Errorf("exactly one graph build ran, aggregate says %+v", st.Stages[pipeline.StageBuild])
+	}
+
+	// A cache hit runs nothing — graph build included — so the stage
+	// aggregate must not move.
+	before := st.Stages
+	if _, cached, err := svc.Decompose(ctx, denseGrid(4), core.Options{K: 4, Algorithm: core.AlgLinear}); err != nil || !cached {
+		t.Fatalf("expected cache hit, cached=%v err=%v", cached, err)
+	}
+	after := svc.StatsSnapshot().Stages
+	for name, want := range before {
+		if got := after[name]; got.Calls != want.Calls {
+			t.Errorf("cache hit moved stage %q: %d -> %d calls", name, want.Calls, got.Calls)
+		}
+	}
+
+	// The same layout under different build-relevant options shares the
+	// graph cache entry; the second solve must not re-record a build.
+	if _, cached, err := svc.Decompose(ctx, denseGrid(4), core.Options{K: 4, Algorithm: core.AlgSDPGreedy}); err != nil || cached {
+		t.Fatalf("different engine must miss the result cache: cached=%v err=%v", cached, err)
+	}
+	if got := svc.StatsSnapshot().Stages[pipeline.StageBuild].Calls; got != 1 {
+		t.Errorf("graph-cache hit re-recorded a build: %d builds", got)
+	}
+
+	// Snapshot owns its map.
+	snap := svc.StatsSnapshot()
+	snap.Stages["probe"] = pipeline.StageStats{Calls: 99}
+	if svc.StatsSnapshot().Stages["probe"].Calls != 0 {
+		t.Fatal("StatsSnapshot leaked its internal stages map")
 	}
 }

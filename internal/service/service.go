@@ -29,6 +29,7 @@ import (
 	"mpl/internal/core"
 	"mpl/internal/geom"
 	"mpl/internal/layout"
+	"mpl/internal/pipeline"
 )
 
 // ErrNoSession is returned by DecomposeIncremental when the base layout
@@ -74,6 +75,12 @@ type Stats struct {
 	// bucket; auto/race requests spread across the engines the portfolio
 	// picked, plus "fallback" for deadline-degraded pieces.
 	Engines map[string]uint64
+	// Stages accumulates the per-stage telemetry of every solve this
+	// service executed, keyed by the pipeline.Stage* names: division and
+	// merge stages from each solve's Result, build stages from the graph
+	// builds this service actually ran (cache-hit graphs add nothing —
+	// the build they reuse was recorded when it happened).
+	Stages map[string]pipeline.StageStats
 }
 
 // Service runs decompositions with caching and bounded concurrency. Safe
@@ -243,17 +250,31 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 }
 
 // recordEngines folds one executed solve's per-engine dispatch histogram
-// into the service totals. Callers must hold s.mu.
+// and per-stage telemetry into the service totals. Callers must hold s.mu.
 func (s *Service) recordEngines(res *core.Result) {
-	if res == nil || len(res.DivisionStats.Engines) == 0 {
+	if res == nil {
 		return
 	}
-	if s.stats.Engines == nil {
-		s.stats.Engines = make(map[string]uint64)
+	if len(res.DivisionStats.Engines) > 0 {
+		if s.stats.Engines == nil {
+			s.stats.Engines = make(map[string]uint64)
+		}
+		for name, n := range res.DivisionStats.Engines {
+			s.stats.Engines[name] += uint64(n)
+		}
 	}
-	for name, n := range res.DivisionStats.Engines {
-		s.stats.Engines[name] += uint64(n)
-	}
+	s.stats.Stages = pipeline.MergeStages(s.stats.Stages, res.DivisionStats.Stages)
+}
+
+// recordBuild folds one executed graph build into the aggregate stage
+// telemetry. Solves over cached graphs never reach here — the build cost
+// was paid (and recorded) once, by the caller that actually built.
+func (s *Service) recordBuild(st core.BuildStats) {
+	s.mu.Lock()
+	s.stats.Stages = pipeline.MergeStages(s.stats.Stages, map[string]pipeline.StageStats{
+		pipeline.StageBuild: {Wall: st.Timing.Total, Calls: 1},
+	})
+	s.mu.Unlock()
 }
 
 // ensureSession re-registers a session for a healthy cached result whose
@@ -337,6 +358,8 @@ func (s *Service) graphFor(lh string, l *layout.Layout, opts core.Options) (*cor
 			s.mu.Lock()
 			s.graphs.removeIf(gk, ge)
 			s.mu.Unlock()
+		} else {
+			s.recordBuild(ge.g.Stats)
 		}
 		close(ge.ready)
 		return ge.g, ge.err
@@ -481,6 +504,7 @@ func (s *Service) StatsSnapshot() Stats {
 			st.Engines[name] = n
 		}
 	}
+	st.Stages = pipeline.MergeStages(nil, s.stats.Stages)
 	return st
 }
 
@@ -513,9 +537,12 @@ type Response struct {
 
 // DecomposeAll runs every request through Decompose with at most
 // Config.Workers solves in flight, returning responses in request order.
-// Cancelling ctx degrades rather than abandons: requests already solving
-// finish via core's fallback path, and not-yet-started requests return
-// quickly with linear-fallback results or ctx errors.
+// Cancelling ctx degrades rather than abandons the work already picked
+// up — requests already solving finish promptly via core's fallback path,
+// with valid degraded results — while requests a worker has not yet
+// started are not solved at all: their responses carry the context's
+// error, so the batch returns as soon as the in-flight tail drains
+// instead of grinding every remaining layout through a fallback solve.
 func (s *Service) DecomposeAll(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	workers := s.cfg.Workers
@@ -532,6 +559,10 @@ func (s *Service) DecomposeAll(ctx context.Context, reqs []Request) []Response {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = Response{Name: reqs[i].Name, Err: fmt.Errorf("service: batch cancelled before this request started: %w", err)}
+					continue
+				}
 				t0 := time.Now()
 				res, cached, err := s.Decompose(ctx, reqs[i].Layout, reqs[i].Options)
 				out[i] = Response{

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -307,5 +309,73 @@ func TestGraphBuildSingleFlight(t *testing.T) {
 	// the other two wait on the in-flight entry.
 	if st := s.StatsSnapshot(); st.GraphHits != uint64(len(algs)-1) {
 		t.Fatalf("stats = %+v, want %d graph hits", st, len(algs)-1)
+	}
+}
+
+func TestDecomposeAllCancelMidBatch(t *testing.T) {
+	// Cancelling the batch context after the first response must return
+	// promptly: the in-flight request degrades through core's fallback
+	// path, requests never picked up carry the ctx error (no fallback
+	// solves are wasted on them), and no worker goroutines leak.
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1, CacheSize: -1})
+	reqs := []Request{
+		{Name: "fast", Layout: denseRow("fast", 4), Options: core.Options{K: 4, Algorithm: core.AlgLinear}},
+		{Name: "slow1", Layout: denseGrid(18), Options: core.Options{K: 4, Algorithm: core.AlgSDPBacktrack}},
+		{Name: "slow2", Layout: denseGrid(19), Options: core.Options{K: 4, Algorithm: core.AlgSDPBacktrack}},
+		{Name: "slow3", Layout: denseGrid(20), Options: core.Options{K: 4, Algorithm: core.AlgSDPBacktrack}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan []Response, 1)
+	go func() { done <- s.DecomposeAll(ctx, reqs) }()
+
+	// With one worker the requests run strictly in order; the second miss
+	// means "fast" answered and "slow1" is now in flight.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if s.StatsSnapshot().Misses >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("the batch never reached its second request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	var out []Response
+	select {
+	case out = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("DecomposeAll did not return promptly after cancellation")
+	}
+
+	if out[0].Err != nil || out[0].Result == nil || out[0].Result.Degraded != 0 {
+		t.Fatalf("pre-cancel response damaged: %+v", out[0])
+	}
+	// slow1 was in flight: it must still produce a valid (if degraded)
+	// result rather than an error.
+	if out[1].Err != nil || out[1].Result == nil {
+		t.Fatalf("in-flight response must degrade, not fail: %+v", out[1])
+	}
+	// slow2/slow3 were never started: the ctx error, not a fallback solve.
+	for _, r := range out[2:] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("undispatched request %q: err = %v, want context.Canceled", r.Name, r.Err)
+		}
+		if r.Result != nil {
+			t.Errorf("undispatched request %q was solved anyway", r.Name)
+		}
+	}
+
+	// The worker pool exits without leaking goroutines.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled batch", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -2,9 +2,41 @@
 // neighborhood queries. The decomposer uses it to find all features within
 // the minimum coloring distance (conflict edges) and within the
 // color-friendly band (mins, mins+hp) without an O(n²) scan.
+//
+// Visit-stamp arrays — the per-query deduplication state of Grid and
+// Querier — are recycled through a process-wide pool: grids and queriers
+// are per-build objects, but their stamp arrays are size-stable across
+// repeated service requests, so Release-ing them keeps steady-state graph
+// builds from re-allocating O(n) stamp memory every time.
 package spatial
 
-import "mpl/internal/geom"
+import (
+	"sync"
+
+	"mpl/internal/geom"
+)
+
+// stampPool recycles visit-stamp backing arrays across grids and queriers.
+var stampPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getStamps leases a zeroed stamp array with capacity ≥ capHint, length 0.
+func getStamps(capHint int) []int32 {
+	b := *stampPool.Get().(*[]int32)
+	if cap(b) < capHint {
+		return make([]int32, 0, capHint)
+	}
+	b = b[:cap(b)]
+	clear(b)
+	return b[:0]
+}
+
+func putStamps(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	stampPool.Put(&b)
+}
 
 // Grid is a uniform bucket grid over rectangle bounding boxes. Each entry is
 // identified by the integer ID supplied at insertion. Entries are bucketed by
@@ -45,8 +77,18 @@ func NewGrid(world geom.Rect, cell int, capHint int) *Grid {
 		rows:    rows,
 		buckets: make([][]int32, cols*rows),
 		bounds:  make([]geom.Rect, 0, capHint),
-		stamp:   make([]int32, 0, capHint),
+		stamp:   getStamps(capHint),
 	}
+}
+
+// Release returns the grid's visit-stamp array to the process-wide pool.
+// Call it when the grid is done (end of a graph build, end of a
+// verification pass); the grid must not be queried afterwards. Releasing
+// is optional — an un-released grid is merely garbage-collected without
+// recycling its stamps.
+func (g *Grid) Release() {
+	putStamps(g.stamp)
+	g.stamp = nil
 }
 
 func (g *Grid) clampCol(c int) int {
@@ -159,9 +201,17 @@ type Querier struct {
 
 // NewQuerier returns an independent query cursor over the grid's current
 // contents. Each goroutine gets its own; a single Querier is not safe for
-// concurrent use with itself.
+// concurrent use with itself. Pair with Release to recycle its stamp
+// array across builds.
 func (g *Grid) NewQuerier() *Querier {
-	return &Querier{g: g, stamp: make([]int32, len(g.bounds))}
+	return &Querier{g: g, stamp: getStamps(len(g.bounds))[:len(g.bounds)]}
+}
+
+// Release returns the querier's stamp array to the process-wide pool. The
+// querier must not be used afterwards. Optional, like Grid.Release.
+func (q *Querier) Release() {
+	putStamps(q.stamp)
+	q.stamp = nil
 }
 
 // Near is Grid.Near using this cursor's private stamps: identical
