@@ -1,0 +1,92 @@
+// Command qpldvet runs the repository's custom static-analysis suite
+// (internal/lint): four analyzers that enforce the determinism, context,
+// scratch-ownership, and locking contracts every golden test and cache
+// key in this codebase assumes (DESIGN.md §10).
+//
+// Usage:
+//
+//	go run ./cmd/qpldvet ./...          # whole module; exit 1 on findings
+//	go run ./cmd/qpldvet -summary ./... # append per-analyzer counts
+//	go run ./cmd/qpldvet -help          # analyzer docs
+//
+// Findings are suppressed per line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// and the reason is mandatory — qpldvet reports reasonless directives.
+// The tool is fully offline: packages (the standard library included) are
+// type-checked from source, so it needs only the Go toolchain the module
+// already builds with.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mpl/internal/lint"
+	"mpl/internal/lint/lintkit"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-analyzer finding counts after the findings")
+	docs := flag.Bool("docs", false, "print each analyzer's documentation and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *docs {
+		for _, a := range analyzers {
+			fmt.Printf("%s:\n  %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lintkit.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *summary {
+		counts := lintkit.Counts(diags, analyzers)
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("qpldvet: %d packages analyzed\n", len(pkgs))
+		for _, name := range names {
+			fmt.Printf("%s: %d finding(s)\n", name, counts[name])
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: qpldvet [-summary] [-docs] [packages]\n\n"+
+		"qpldvet statically enforces this repository's determinism, context,\n"+
+		"scratch-ownership, and locking contracts. See DESIGN.md §10.\n\n")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qpldvet:", err)
+	os.Exit(2)
+}

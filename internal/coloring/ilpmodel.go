@@ -101,7 +101,7 @@ func ILPAssignContext(ctx context.Context, g *graph.Graph, k int, alpha float64,
 	// Symmetry breaking: pin the first vertex to color 0.
 	prob.LP.AddConstraint(lp.EQ, 1, lp.Term{Var: yVar(0, 0), Coef: 1})
 
-	res := ilp.Solve(prob, ilp.Options{TimeLimit: timeLimit, Ctx: ctx})
+	res := ilp.SolveContext(ctx, prob, ilp.Options{TimeLimit: timeLimit})
 	out := ILPResult{Status: res.Status, Proven: res.Status == ilp.Optimal}
 	if res.X != nil {
 		colors := make([]int, n)

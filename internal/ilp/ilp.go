@@ -81,16 +81,20 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds explored nodes; zero means no limit.
 	MaxNodes int
-	// Ctx, when non-nil, cancels the search cooperatively: the incumbent at
-	// cancellation time is returned with a Feasible (or TimedOut) status,
-	// the same contract as an expired TimeLimit.
-	Ctx context.Context
 }
 
 const intTol = 1e-6
 
-// Solve runs best-effort exact branch-and-bound.
+// Solve is SolveContext without cancellation (budget limits still apply).
 func Solve(p *Problem, opts Options) Result {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs best-effort exact branch-and-bound. ctx cancels the
+// search cooperatively: the incumbent at cancellation time is returned
+// with a Feasible (or TimedOut) status, the same contract as an expired
+// TimeLimit.
+func SolveContext(ctx context.Context, p *Problem, opts Options) Result {
 	if len(p.Binary) != p.LP.NumVars {
 		panic("ilp: Binary mask length mismatch")
 	}
@@ -98,12 +102,14 @@ func Solve(p *Problem, opts Options) Result {
 		prob:    p,
 		maxNode: opts.MaxNodes,
 		bestObj: math.Inf(1),
+		done:    ctx.Done(),
 	}
 	if opts.TimeLimit > 0 {
+		// Budget expiry is not a determinism hazard: it is surfaced as
+		// Status TimedOut/Feasible, which callers map to Proven=false —
+		// never as silently different bytes under a "solved" label.
+		//lint:ignore determinism wall-clock TimeLimit is surfaced via Status (Proven=false), not output bytes
 		s.deadline = time.Now().Add(opts.TimeLimit)
-	}
-	if opts.Ctx != nil {
-		s.done = opts.Ctx.Done()
 	}
 
 	// Box constraints x_j <= 1 for binary variables, shared by every node.
@@ -160,6 +166,7 @@ func (s *searcher) timeUp() bool {
 		}
 	}
 	// Check the clock sparingly.
+	//lint:ignore determinism deadline expiry sets stopped, surfaced as TimedOut/Feasible (Proven=false), never as different bytes under Optimal
 	if !s.deadline.IsZero() && s.nodes%16 == 0 && time.Now().After(s.deadline) {
 		s.stopped = true
 		return true

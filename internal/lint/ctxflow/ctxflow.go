@@ -1,0 +1,257 @@
+// Package ctxflow enforces the cancellation contract (DESIGN.md §7, §10):
+// deadlines flow from the caller into every solve, so no internal package
+// may mint a fresh root context or drop a caller's ctx on the floor.
+//
+// Rules (internal/ packages only, except where noted):
+//
+//  1. noFreshCtx: context.Background()/context.TODO() are forbidden,
+//     except as the ctx argument of the enclosing function's own
+//     ...Context variant — the documented compatibility-wrapper shape
+//     `func Solve(...) { return SolveContext(context.Background(), ...) }`.
+//  2. ctxFirst: a context.Context parameter must be the first parameter
+//     (receivers aside), the position every caller and go vet expects.
+//  3. contextSuffix: an exported function named ...Context must actually
+//     take a context.Context first — the suffix is the API's promise.
+//  4. threadCtx: calling Foo when FooContext exists (same package or an
+//     imported one) from a function that has a ctx in scope silently
+//     discards cancellation; call the Context variant.
+//  5. noCtxField: storing a context.Context in a struct field outlives
+//     the request it belongs to; pass it as a parameter instead.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mpl/internal/lint/lintkit"
+)
+
+// Analyzer is the context-threading checker.
+var Analyzer = &lintkit.Analyzer{
+	Name: "ctxflow",
+	Doc: "enforces context.Context threading: no fresh Background/TODO outside\n" +
+		"compatibility wrappers, ctx first, no ctx struct fields, and no calls that\n" +
+		"drop an in-scope ctx when a ...Context variant exists",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathWithin(pass.Path, "internal") {
+		return nil
+	}
+	if lintkit.PathWithin(pass.Path, "internal/lint") {
+		return nil // the linter's own plumbing is not solve-path code
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				checkNoCtxField(pass, st)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fd.Name, fd.Type, fd.Name.IsExported())
+			if fd.Body != nil {
+				walkFunc(pass, fd.Name.Name, hasCtxParam(fd.Type), fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// walkFunc checks the calls of one function body. name is the enclosing
+// declared function ("" inside a literal — wrappers must be declared);
+// hasCtx reports whether a ctx is lexically in scope, which closures
+// inherit from their enclosing function.
+func walkFunc(pass *lintkit.Pass, name string, hasCtx bool, body ast.Node) {
+	allowedFresh := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkSignature(pass, nil, n.Type, false)
+			walkFunc(pass, name, hasCtx || hasCtxParam(n.Type), n.Body)
+			return false
+		case *ast.CallExpr:
+			// The compatibility-wrapper shape: Foo calling
+			// FooContext(context.Background(), ...) is the one sanctioned
+			// fresh-context site; remember the inner call before
+			// descending into it.
+			if len(n.Args) > 0 && calleeName(n) == name+"Context" {
+				if inner, ok := n.Args[0].(*ast.CallExpr); ok && isFreshCtxCall(pass, inner) {
+					allowedFresh[inner] = true
+				}
+			}
+			checkCall(pass, name, hasCtx, allowedFresh, n)
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isFreshCtxCall matches context.Background() / context.TODO().
+func isFreshCtxCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && isContextPkg(pass, pkg)
+}
+
+func hasCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType matches the syntactic type context.Context.
+func isCtxType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// checkSignature applies ctxFirst and contextSuffix to one signature.
+func checkSignature(pass *lintkit.Pass, name *ast.Ident, ft *ast.FuncType, exported bool) {
+	if ft.Params != nil {
+		argPos := 0
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isCtxType(field.Type) && argPos != 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			}
+			argPos += n
+		}
+	}
+	if name != nil && exported && strings.HasSuffix(name.Name, "Context") && name.Name != "Context" {
+		first := firstParamIsCtx(ft)
+		if !first {
+			pass.Reportf(name.Pos(), "%s is named ...Context but does not take a context.Context first parameter", name.Name)
+		}
+	}
+}
+
+func firstParamIsCtx(ft *ast.FuncType) bool {
+	return ft.Params != nil && len(ft.Params.List) > 0 && isCtxType(ft.Params.List[0].Type)
+}
+
+// checkNoCtxField applies noCtxField to one struct type.
+func checkNoCtxField(pass *lintkit.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isCtxType(field.Type) {
+			pass.Reportf(field.Pos(), "context.Context stored in a struct field outlives its request; pass ctx as a parameter instead")
+		}
+	}
+}
+
+// checkCall applies noFreshCtx and threadCtx to one call.
+func checkCall(pass *lintkit.Pass, name string, hasCtx bool, allowedFresh map[ast.Node]bool, call *ast.CallExpr) {
+	// Rule 1: context.Background()/TODO().
+	if isFreshCtxCall(pass, call) {
+		if !allowedFresh[call] {
+			pass.Reportf(call.Pos(), "context.%s() mints a fresh root context inside internal code; thread the caller's ctx (compatibility wrappers must pass it to their own ...Context variant)", calleeName(call))
+		}
+		return
+	}
+	// Rule 4: Foo(...) where FooContext exists and ctx is in scope.
+	if !hasCtx {
+		return
+	}
+	callee, scope := calleeNameAndScope(pass, call)
+	if callee == "" || strings.HasSuffix(callee, "Context") || scope == nil {
+		return
+	}
+	variant := callee + "Context"
+	if obj := scope.Lookup(variant); obj != nil {
+		if fn, isFn := obj.(*types.Func); isFn && fnTakesCtx(fn) {
+			pass.Reportf(call.Pos(), "%s drops the in-scope ctx; call %s and pass it", callee, variant)
+		}
+	}
+}
+
+func isContextPkg(pass *lintkit.Pass, pkgID *ast.Ident) bool {
+	obj, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	return ok && obj.Imported().Path() == "context"
+}
+
+// calleeNameAndScope resolves a call's target name and the scope in which
+// to look for a ...Context sibling: the package scope for local calls and
+// the imported package's scope for pkg.Foo calls. Method calls resolve to
+// the receiver's named-type methods via types info.
+func calleeNameAndScope(pass *lintkit.Pass, call *ast.CallExpr) (string, *types.Scope) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && obj.Pkg() == pass.Pkg {
+			return fun.Name, pass.Pkg.Scope()
+		}
+	case *ast.SelectorExpr:
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pn, isPkg := pass.TypesInfo.Uses[pkgID].(*types.PkgName); isPkg {
+				return fun.Sel.Name, pn.Imported().Scope()
+			}
+		}
+		// Method call x.Foo(...): look for a FooContext method on the
+		// same receiver type.
+		if sel := pass.TypesInfo.Selections[fun]; sel != nil {
+			if named, ok := derefNamed(sel.Recv()); ok {
+				variant := fun.Sel.Name + "Context"
+				for i := 0; i < named.NumMethods(); i++ {
+					m := named.Method(i)
+					if m.Name() == variant && fnTakesCtx(m) {
+						// Report through a synthetic one-entry scope.
+						sc := types.NewScope(nil, 0, 0, "")
+						sc.Insert(m)
+						return fun.Sel.Name, sc
+					}
+				}
+			}
+		}
+	}
+	return "", nil
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+func fnTakesCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := derefNamed(sig.Params().At(0).Type())
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mpl/internal/lint/ctxflow"
+	"mpl/internal/lint/lintkit"
+)
+
+func TestAnalyzer(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", []*lintkit.Analyzer{ctxflow.Analyzer}, "./...")
+}

@@ -1,0 +1,55 @@
+// Package svc is a ctxflow fixture: an internal/ package, so all five
+// context-threading rules apply.
+package svc
+
+import "context"
+
+// Server stores a context — rule 5 (noCtxField).
+type Server struct {
+	ctx context.Context // want `context.Context stored in a struct field outlives its request`
+}
+
+// Solve is the sanctioned compatibility-wrapper shape: the fresh context
+// goes straight into the function's own ...Context variant.
+func Solve(n int) int {
+	return SolveContext(context.Background(), n)
+}
+
+// SolveContext is the real entry point.
+func SolveContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Fresh mints a root context outside the wrapper shape — rule 1.
+func Fresh() context.Context {
+	return context.Background() // want `context.Background\(\) mints a fresh root context inside internal code`
+}
+
+// BadOrder takes ctx second — rule 2 (ctxFirst).
+func BadOrder(n int, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = ctx
+	_ = n
+}
+
+// RunContext breaks the ...Context naming promise — rule 3.
+func RunContext(n int) { // want `RunContext is named ...Context but does not take a context.Context first parameter`
+	_ = n
+}
+
+// Drops has a ctx in scope but calls the non-Context variant — rule 4.
+func Drops(ctx context.Context, n int) int {
+	_ = ctx
+	return Solve(n) // want `Solve drops the in-scope ctx; call SolveContext and pass it`
+}
+
+// Threads is rule 4 done right: the in-scope ctx flows into the variant.
+func Threads(ctx context.Context, n int) int {
+	return SolveContext(ctx, n)
+}
+
+// Detach is a suppressed fresh context with its contract argument.
+func Detach() context.Context {
+	//lint:ignore ctxflow fixture: deliberately detached background task, documented at the call site
+	return context.Background()
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mpl/internal/lint/determinism"
+	"mpl/internal/lint/lintkit"
+)
+
+func TestAnalyzer(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", []*lintkit.Analyzer{determinism.Analyzer}, "./...")
+}

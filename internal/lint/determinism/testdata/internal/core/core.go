@@ -1,0 +1,84 @@
+// Package core is a determinism fixture: its import path ends in
+// internal/core, so the solver-path rules (wallClock, seededRand) apply in
+// addition to the everywhere rule (mapOrder).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EmitUnsorted interleaves output with map iteration: the byte order
+// follows the randomized map order.
+func EmitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `output emitted while ranging over a map`
+	}
+}
+
+// ReturnUnsorted accumulates keys in iteration order and returns them.
+func ReturnUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys accumulates map-iteration order and is returned`
+	}
+	return keys
+}
+
+// ReturnSorted is the sanctioned shape: collect, sort, then use.
+func ReturnSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumValues folds commutatively over a map — order-independent, no finding.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Deadline lets a wall-clock value escape the duration-telemetry pattern.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget) // want `time.Now in a solver-path package escapes the duration-telemetry pattern`
+}
+
+// AllowedDeadline is the same code with the documented contract argument.
+func AllowedDeadline(budget time.Duration) time.Time {
+	//lint:ignore determinism fixture: budget expiry is surfaced as Proven=false, never as different output bytes
+	return time.Now().Add(budget)
+}
+
+// Telemetry is the allowed time.Now pattern: every use of t is a duration
+// computation.
+func Telemetry() time.Duration {
+	t := time.Now()
+	work()
+	return time.Since(t)
+}
+
+func work() {}
+
+// GlobalRand draws from the process-seeded global source.
+func GlobalRand(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the global rand source`
+}
+
+// SeededRand constructs its own seeded source — reproducible, no finding.
+func SeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// SuppressedRand shows the trailing-directive form.
+func SuppressedRand(n int) int {
+	return rand.Intn(n) //lint:ignore determinism fixture: jitter for a retry backoff, never reaches output bytes
+}

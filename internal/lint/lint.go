@@ -1,0 +1,24 @@
+// Package lint assembles the qpldvet analyzer suite: the four contract
+// checkers that turn this repository's dynamically-tested invariants —
+// byte-identical determinism, context threading, scratch-arena ownership,
+// and annotated lock discipline — into machine-checked ones (DESIGN.md
+// §10). cmd/qpldvet is the multichecker binary over this suite.
+package lint
+
+import (
+	"mpl/internal/lint/ctxflow"
+	"mpl/internal/lint/determinism"
+	"mpl/internal/lint/lintkit"
+	"mpl/internal/lint/lockdiscipline"
+	"mpl/internal/lint/scratchown"
+)
+
+// Analyzers is the full qpldvet suite, in reporting order.
+func Analyzers() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		determinism.Analyzer,
+		ctxflow.Analyzer,
+		scratchown.Analyzer,
+		lockdiscipline.Analyzer,
+	}
+}

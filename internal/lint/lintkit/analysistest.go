@@ -1,0 +1,102 @@
+package lintkit
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a `// want "regex"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")(?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))*)")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// RunFixture loads the fixture module at dir, analyzes the packages
+// matching patterns with the given analyzers, and checks the findings
+// against `// want "regex"` comments in the fixture sources — each
+// expectation must be matched by exactly one finding on its line, and
+// every finding must be expected. Mirrors x/tools analysistest.Run.
+func RunFixture(t *testing.T, dir string, analyzers []*Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages matched %v", dir, patterns)
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fname := pkg.Fset.Position(f.Pos()).Filename
+			ws, err := parseWants(fname, pkg.Source(fname))
+			if err != nil {
+				t.Fatalf("%s: %v", fname, err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts want expectations from one file's source. Scanning
+// text rather than the AST keeps expectations usable on lines whose
+// comments the parser attaches elsewhere.
+func parseWants(filename string, src []byte) ([]*want, error) {
+	var out []*want
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+			var pat string
+			if strings.HasPrefix(arg, "`") {
+				pat = strings.Trim(arg, "`")
+			} else {
+				unq, err := strconv.Unquote(arg)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want pattern %s: %w", i+1, arg, err)
+				}
+				pat = unq
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad want regexp %q: %w", i+1, pat, err)
+			}
+			out = append(out, &want{file: filename, line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package lintkit is the analysis framework under cmd/qpldvet: a minimal,
+// offline, dependency-free stand-in for the golang.org/x/tools/go/analysis
+// and .../go/analysis/analysistest APIs, built on go/parser + go/types and
+// a `go list -deps -json` package loader.
+//
+// Why not x/tools itself: this module deliberately has zero external
+// dependencies (go.mod carries no require directives), which keeps the
+// reproduction buildable on an offline toolchain image — the same property
+// the BENCH trajectory and golden tests rely on. lintkit implements just
+// the subset the qpldvet analyzers need (Pass with full type info, //lint:
+// directives, `// want` fixture tests); if x/tools ever becomes an
+// acceptable dependency the analyzers port mechanically, since the shapes
+// (Analyzer{Name, Doc, Run}, Pass.Reportf) match on purpose.
+//
+// Directives: a finding is suppressed by
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// either trailing on the offending line or alone on the line above it. The
+// reason is mandatory — a directive without one is itself reported (by the
+// built-in "directive" pseudo-analyzer), so every suppression documents the
+// contract argument that makes the flagged code safe.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Mirrors x/tools go/analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the contract the analyzer
+	// enforces, shown by `qpldvet -help`.
+	Doc string
+	// Run performs the check on one package and reports findings through
+	// the pass. An error aborts the whole run (reserve it for internal
+	// failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one loaded package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path (fixture modules get fixture
+	// paths; analyzers scope themselves with PathWithin / path suffix
+	// helpers so the same rules apply under test).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// DirectiveAnalyzer is the name under which lintkit reports malformed
+// //lint: directives (missing reason, unknown verb). It participates in
+// counts and cannot itself be ignored.
+const DirectiveAnalyzer = "directive"
+
+// Run applies every analyzer to every package, applies //lint:ignore
+// suppression, and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, derrs := collectDirectives(pkg)
+		diags = append(diags, derrs...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				diags:     &diags,
+			}
+			before := len(diags)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			diags = dirs.filter(diags, before)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Counts tallies findings per analyzer name (zero entries included for
+// every analyzer passed, so "0 findings" is reportable).
+func Counts(diags []Diagnostic, analyzers []*Analyzer) map[string]int {
+	c := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		c[a.Name] = 0
+	}
+	c[DirectiveAnalyzer] = 0
+	for _, d := range diags {
+		c[d.Analyzer]++
+	}
+	return c
+}
+
+// directive is one parsed //lint:ignore comment: the set of analyzer names
+// it silences and the source line it applies to.
+type directive struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+type directiveSet []directive
+
+// collectDirectives parses every //lint: comment in the package. A
+// directive on a line of its own applies to the next line; a trailing
+// directive applies to its own line.
+func collectDirectives(pkg *Package) (directiveSet, []Diagnostic) {
+	var set directiveSet
+	var errs []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				if verb == "holds" {
+					// Consumed by the lockdiscipline analyzer (a lock
+					// precondition, not a suppression); validate shape only.
+					if strings.TrimSpace(rest) == "" {
+						errs = append(errs, Diagnostic{
+							Analyzer: DirectiveAnalyzer, Pos: pos,
+							Message: "malformed //lint:holds: want `//lint:holds <mutex>` naming the mutex the caller must hold",
+						})
+					}
+					continue
+				}
+				if verb != "ignore" {
+					errs = append(errs, Diagnostic{
+						Analyzer: DirectiveAnalyzer, Pos: pos,
+						Message: fmt.Sprintf("unknown //lint: directive %q (only //lint:ignore is supported)", verb),
+					})
+					continue
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					errs = append(errs, Diagnostic{
+						Analyzer: DirectiveAnalyzer, Pos: pos,
+						Message: "malformed //lint:ignore: want `//lint:ignore <analyzer>[,<analyzer>] <reason>` — the reason is mandatory",
+					})
+					continue
+				}
+				d := directive{file: pos.Filename, line: pos.Line, analyzers: map[string]bool{}}
+				for _, n := range strings.Split(names, ",") {
+					d.analyzers[n] = true
+				}
+				if standalone(pkg, pos) {
+					d.line++
+				}
+				set = append(set, d)
+			}
+		}
+	}
+	return set, errs
+}
+
+// standalone reports whether the comment at pos is the only thing on its
+// source line (so the directive targets the following line, not its own),
+// by checking that everything before it on the line is whitespace.
+func standalone(pkg *Package, pos token.Position) bool {
+	src := pkg.Source(pos.Filename)
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// filter drops diagnostics appended since index from that are silenced by a
+// directive naming their analyzer on their line.
+func (ds directiveSet) filter(diags []Diagnostic, from int) []Diagnostic {
+	if len(ds) == 0 {
+		return diags
+	}
+	out := diags[:from]
+	for _, d := range diags[from:] {
+		if !ds.silences(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (ds directiveSet) silences(d Diagnostic) bool {
+	for _, dir := range ds {
+		if dir.file == d.Pos.Filename && dir.line == d.Pos.Line && dir.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// PathWithin reports whether the package import path contains dir as a
+// complete path segment sequence (e.g. PathWithin("mpl/internal/core",
+// "internal") or a suffix match like "internal/core"). Matching on
+// segments rather than raw substrings keeps fixture module paths
+// ("fix/internal/core") in scope under test.
+func PathWithin(path, dir string) bool {
+	if path == dir {
+		return true
+	}
+	if strings.HasSuffix(path, "/"+dir) {
+		return true
+	}
+	return strings.Contains(path, "/"+dir+"/") || strings.HasPrefix(path, dir+"/")
+}

@@ -1,0 +1,102 @@
+package lintkit_test
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"testing"
+
+	"mpl/internal/lint/lintkit"
+)
+
+// mockAnalyzer flags every call to a function literally named flagme —
+// enough signal to observe which lines directives do and do not silence.
+var mockAnalyzer = &lintkit.Analyzer{
+	Name: "mock",
+	Doc:  "flags calls to flagme (test analyzer)",
+	Run: func(pass *lintkit.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						pass.Reportf(call.Pos(), "flagme called")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestDirectives drives the loader and the whole directive pipeline over
+// the fixture module: malformed directives are findings, well-formed ones
+// suppress exactly their line, and everything else passes through.
+func TestDirectives(t *testing.T) {
+	pkgs, err := lintkit.Load("testdata", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "fix" {
+		t.Fatalf("loaded %d packages, want the single package fix", len(pkgs))
+	}
+	diags, err := lintkit.Run(pkgs, []*lintkit.Analyzer{mockAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer))
+	}
+	want := []string{
+		"10:directive", // reasonless ignore
+		"11:mock",      // ...which therefore suppresses nothing
+		"16:directive", // unknown verb
+		"17:mock",
+		"34:mock",      // no directive anywhere near
+		"39:directive", // holds without a mutex name
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("diagnostics mismatch\n got: %v\nwant: %v\nfull: %v", got, want, diags)
+	}
+
+	counts := lintkit.Counts(diags, []*lintkit.Analyzer{mockAnalyzer})
+	if counts["mock"] != 3 || counts[lintkit.DirectiveAnalyzer] != 3 {
+		t.Errorf("counts = %v, want mock:3 directive:3", counts)
+	}
+}
+
+// TestCountsZeroEntries: analyzers with no findings still appear, so the
+// CI summary can report an explicit zero.
+func TestCountsZeroEntries(t *testing.T) {
+	counts := lintkit.Counts(nil, []*lintkit.Analyzer{mockAnalyzer})
+	if n, ok := counts["mock"]; !ok || n != 0 {
+		t.Errorf("counts = %v, want an explicit mock:0 entry", counts)
+	}
+	if _, ok := counts[lintkit.DirectiveAnalyzer]; !ok {
+		t.Errorf("counts = %v, want an explicit directive entry", counts)
+	}
+}
+
+func TestPathWithin(t *testing.T) {
+	cases := []struct {
+		path, dir string
+		want      bool
+	}{
+		{"mpl/internal/core", "internal/core", true},
+		{"fix/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"mpl/internal/core/sub", "internal/core", true},
+		{"mpl/internal/coloring", "internal/core", false},
+		{"mpl/internal/lint", "internal", true},
+		{"mpl/cmd/qpld", "internal", false},
+	}
+	for _, c := range cases {
+		if got := lintkit.PathWithin(c.path, c.dir); got != c.want {
+			t.Errorf("PathWithin(%q, %q) = %v, want %v", c.path, c.dir, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	src map[string][]byte // filename -> raw source, for directive parsing
+}
+
+// Source returns the raw bytes of one of the package's files (empty for
+// unknown filenames).
+func (p *Package) Source(filename string) []byte { return p.src[filename] }
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+	Match      []string
+}
+
+// Load type-checks the packages matching patterns in the module rooted at
+// (or containing) dir, returning only the matched packages — their
+// dependencies, including the standard library, are type-checked from
+// source as needed (this loader runs fully offline; nothing is fetched).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	typed := map[string]*types.Package{"unsafe": types.Unsafe}
+	var out []*Package
+
+	// `go list -deps` emits dependencies before dependents, so a single
+	// in-order sweep has every import available when it is needed.
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files, src, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", lp.ImportPath, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if mapped, ok := lp.ImportMap[path]; ok {
+					path = mapped
+				}
+				if tp, ok := typed[path]; ok {
+					return tp, nil
+				}
+				return nil, fmt.Errorf("package %s not loaded before its dependent", path)
+			}),
+			// The standard library (and only it) may use compiler
+			// intrinsics and documented unsafe tricks that a plain
+			// go/types pass rejects; tolerate errors there, never in
+			// module code.
+			Error: func(error) {},
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil && !lp.Standard {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		typed[lp.ImportPath] = tp
+		if len(lp.Match) > 0 {
+			out = append(out, &Package{
+				Path:  lp.ImportPath,
+				Dir:   lp.Dir,
+				Fset:  fset,
+				Files: files,
+				Types: tp,
+				Info:  info,
+				src:   src,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList shells out to `go list -deps -json` with cgo disabled (so every
+// listed file is plain Go source, checkable without a build step).
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,Incomplete,Error,DepsErrors,Match"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, map[string][]byte, error) {
+	files := make([]*ast.File, len(names))
+	src := make(map[string][]byte, len(names))
+	for i, name := range names {
+		full := filepath.Join(dir, name)
+		b, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, full, b, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files[i] = f
+		src[full] = b
+	}
+	return files, src, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

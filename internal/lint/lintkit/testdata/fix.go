@@ -1,0 +1,40 @@
+// Package fix exercises lintkit's directive handling: reasonless and
+// unknown directives are findings, well-formed ones suppress.
+package fix
+
+func flagme() {}
+
+// Reasonless: the ignore below is missing its mandatory reason, so it is
+// itself reported and suppresses nothing.
+func Reasonless() {
+	//lint:ignore mock
+	flagme()
+}
+
+// Unknown: only ignore (and holds) are //lint: verbs.
+func Unknown() {
+	//lint:frobnicate some reason
+	flagme()
+}
+
+// SuppressedStandalone: a standalone directive silences the next line.
+func SuppressedStandalone() {
+	//lint:ignore mock the documented contract argument
+	flagme()
+}
+
+// SuppressedTrailing: a trailing directive silences its own line, and may
+// name several analyzers.
+func SuppressedTrailing() {
+	flagme() //lint:ignore mock,other trailing reason
+}
+
+// Unsuppressed keeps the analyzer honest.
+func Unsuppressed() {
+	flagme()
+}
+
+// HoldsBad: a holds directive must name the mutex.
+//
+//lint:holds
+func HoldsBad() {}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"mpl/internal/lint/lintkit"
+	"mpl/internal/lint/lockdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", []*lintkit.Analyzer{lockdiscipline.Analyzer}, "./...")
+}

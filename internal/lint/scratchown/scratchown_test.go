@@ -1,0 +1,12 @@
+package scratchown_test
+
+import (
+	"testing"
+
+	"mpl/internal/lint/lintkit"
+	"mpl/internal/lint/scratchown"
+)
+
+func TestAnalyzer(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", []*lintkit.Analyzer{scratchown.Analyzer}, "./...")
+}

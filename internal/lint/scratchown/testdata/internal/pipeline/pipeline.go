@@ -1,0 +1,24 @@
+// Package pipeline is a fixture stub of the real scratch arena: the
+// analyzer matches Scratch by name plus defining-package path tail, so
+// this stub exercises the same code paths as mpl/internal/pipeline.
+package pipeline
+
+// Scratch is a pooled arena leased to exactly one goroutine at a time.
+type Scratch struct {
+	buf []int
+}
+
+// Ints carves an int slice from the arena.
+func (s *Scratch) Ints(n int) []int {
+	s.buf = append(s.buf[:0], make([]int, n)...)
+	return s.buf
+}
+
+// ScratchPool hands out arenas.
+type ScratchPool struct{}
+
+// Get leases an arena.
+func (p *ScratchPool) Get() *Scratch { return &Scratch{} }
+
+// Put returns an arena to the pool.
+func (p *ScratchPool) Put(s *Scratch) { _ = s }

@@ -91,10 +91,10 @@ type Service struct {
 	fbSem chan struct{} // fallback solves for requests whose deadline expired while queued
 
 	mu       sync.Mutex
-	results  *lru // key -> *entry (may be in-flight)
-	graphs   *lru // key -> *graphEntry (may be in-flight)
-	sessions *lru // key -> *session (always complete; immutable once stored)
-	stats    Stats
+	results  *lru  // guarded by mu; key -> *entry (may be in-flight)
+	graphs   *lru  // guarded by mu; key -> *graphEntry (may be in-flight)
+	sessions *lru  // guarded by mu; key -> *session (always complete; immutable once stored)
+	stats    Stats // guarded by mu
 }
 
 // session is one servable decomposition state: the layout geometry and the
@@ -251,6 +251,8 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 
 // recordEngines folds one executed solve's per-engine dispatch histogram
 // and per-stage telemetry into the service totals. Callers must hold s.mu.
+//
+//lint:holds mu
 func (s *Service) recordEngines(res *core.Result) {
 	if res == nil {
 		return

@@ -1,0 +1,105 @@
+// Package tools pins the external static-analysis tool versions CI
+// installs (versions.env) and tests that the pins and the workflow agree.
+//
+// Why not a tools.go blank-import file: that pattern records tool versions
+// in go.mod, and this module deliberately carries zero require directives
+// so it builds on an offline toolchain image. versions.env is the
+// replacement single source of truth; this test is the drift gate.
+package tools
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// versionRE accepts staticcheck's year.minor.patch scheme and the
+// standard vMAJOR.MINOR.PATCH module form.
+var versionRE = regexp.MustCompile(`^(v\d+\.\d+\.\d+|\d{4}\.\d+(\.\d+)?)$`)
+
+func readVersions(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open("versions.env")
+	if err != nil {
+		t.Fatalf("open versions.env: %v", err)
+	}
+	defer f.Close()
+	vars := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, "=")
+		if !ok {
+			t.Fatalf("versions.env: not NAME=value: %q", line)
+		}
+		vars[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read versions.env: %v", err)
+	}
+	return vars
+}
+
+// TestToolVersionsPinned: every pin parses as a version, and the CI
+// workflow both sources versions.env and consumes every variable it
+// defines — so adding or bumping a pin without wiring it into CI (or
+// vice versa) fails here instead of silently drifting.
+func TestToolVersionsPinned(t *testing.T) {
+	vars := readVersions(t)
+	for _, name := range []string{"STATICCHECK_VERSION", "GOVULNCHECK_VERSION", "XTOOLS_VERSION"} {
+		v, ok := vars[name]
+		if !ok {
+			t.Errorf("versions.env: missing %s", name)
+			continue
+		}
+		if !versionRE.MatchString(v) {
+			t.Errorf("versions.env: %s=%q does not look like a pinned version", name, v)
+		}
+	}
+
+	ci, err := os.ReadFile("../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("read ci.yml: %v", err)
+	}
+	workflow := string(ci)
+	if !strings.Contains(workflow, "tools/versions.env") {
+		t.Error("ci.yml does not source tools/versions.env")
+	}
+	for name := range vars {
+		if !strings.Contains(workflow, fmt.Sprintf("${%s}", name)) {
+			t.Errorf("ci.yml never uses ${%s} defined in versions.env", name)
+		}
+	}
+
+	// Tool installs must go through the pins: any literal @version on an
+	// install line is a drift hazard.
+	for _, line := range strings.Split(workflow, "\n") {
+		if strings.Contains(line, "go install") && regexp.MustCompile(`@v?\d`).MatchString(line) {
+			t.Errorf("ci.yml hard-codes a tool version instead of using versions.env: %s", strings.TrimSpace(line))
+		}
+	}
+}
+
+// TestQpldvetDocumented: the linter entry point is discoverable — README
+// documents the invocation and CI runs it with -summary.
+func TestQpldvetDocumented(t *testing.T) {
+	for file, want := range map[string]string{
+		"../README.md":                "go run ./cmd/qpldvet ./...",
+		"../.github/workflows/ci.yml": "qpldvet -summary",
+		"../DESIGN.md":                "Statically enforced invariants",
+	} {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		if !strings.Contains(string(b), want) {
+			t.Errorf("%s does not mention %q", file, want)
+		}
+	}
+}
