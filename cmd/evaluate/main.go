@@ -76,6 +76,7 @@ func main() {
 	jsonLabel := flag.String("json-label", "trajectory", "label stored in the -json record")
 	edits := flag.Int("edits", 0, "with -json: replay this many random ECO edit batches per circuit with the first -algs engine, recording incremental vs from-scratch latency")
 	stages := flag.Bool("stages", false, "after each table, print per-stage wall times (simplify/partition/dispatch/stitch/merge) per circuit and engine")
+	memo := flag.Bool("memo", false, "enable canonical-shape memoization (byte-identical results; shape hit/miss counters appear in -stages and -json output)")
 	laydir := flag.String("laydir", "", "read circuits from <dir>/<name>.lay instead of synthesizing them (-scale does not apply)")
 	flag.Parse()
 
@@ -97,7 +98,7 @@ func main() {
 			// -json already guarantees, so it passes.)
 			log.Fatal("-json runs circuits strictly sequentially; -batch-workers > 1 does not apply")
 		}
-		runJSON(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *edits, *jsonOut, *jsonLabel)
+		runJSON(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *edits, *memo, *jsonOut, *jsonLabel)
 		return
 	}
 	if *edits > 0 {
@@ -105,7 +106,7 @@ func main() {
 	}
 	switch *ablation {
 	case "":
-		runTable(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *batchWorkers, *stages)
+		runTable(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *batchWorkers, *stages, *memo)
 	case "division":
 		runDivisionAblation(names, *k, *scale, *seed, *workers, *buildWorkers)
 	case "threshold":
@@ -184,13 +185,14 @@ type sweepSpec struct {
 }
 
 // options builds the mpl.Options for this spec with the shared sweep knobs.
-func (s sweepSpec) options(k int, seed int64, ilpBudget time.Duration, workers, buildWorkers int) mpl.Options {
+func (s sweepSpec) options(k int, seed int64, ilpBudget time.Duration, workers, buildWorkers int, memo bool) mpl.Options {
 	return mpl.Options{
 		K:            k,
 		Algorithm:    s.alg,
 		Engine:       s.engine,
 		Seed:         seed,
 		ILPTimeLimit: ilpBudget,
+		Memoize:      memo,
 		Build:        mpl.BuildOptions{K: k, Workers: buildWorkers},
 		Division:     division.Options{Workers: workers},
 	}
@@ -230,7 +232,7 @@ func sweepList(algsFlag, engineFlag string, k int) []sweepSpec {
 	return specs
 }
 
-func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, batchWorkers int, showStages bool) {
+func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, batchWorkers int, showStages, memo bool) {
 	cols := make([]string, len(specs))
 	hasBT := false
 	for i, s := range specs {
@@ -265,7 +267,7 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 			reqs = append(reqs, service.Request{
 				Name:    name,
 				Layout:  l,
-				Options: s.options(k, seed, ilpBudget, workers, buildWorkers),
+				Options: s.options(k, seed, ilpBudget, workers, buildWorkers, memo),
 			})
 		}
 	}
@@ -308,10 +310,22 @@ func runTable(names []string, k int, scale float64, seed int64, ilpBudget time.D
 // per-circuit build times).
 func writeStageTable(w io.Writer, names []string, specs []sweepSpec, out []service.Response) {
 	stageCols := []string{pipeline.StageSimplify, pipeline.StagePartition, pipeline.StageDispatch, pipeline.StageStitch, pipeline.StageMerge}
+	// Shape-cache columns appear only when the sweep had shape traffic
+	// (i.e. it ran with -memo); memo-off tables keep the classic layout.
+	shapes := false
+	for _, r := range out {
+		if r.Err == nil && r.Result != nil {
+			sh := r.Result.DivisionStats.Shapes
+			shapes = shapes || sh.Hits+sh.Misses > 0
+		}
+	}
 	for si, s := range specs {
 		fmt.Fprintf(w, "\nstage timings (ms, %s):\n%-10s", s.label, "circuit")
 		for _, sc := range stageCols {
 			fmt.Fprintf(w, " %10s", sc)
+		}
+		if shapes {
+			fmt.Fprintf(w, " %8s %8s %8s", "sh-hit", "sh-miss", "sh-dist")
 		}
 		fmt.Fprintln(w)
 		for ci, name := range names {
@@ -323,6 +337,10 @@ func writeStageTable(w io.Writer, names []string, specs []sweepSpec, out []servi
 			fmt.Fprintf(w, "%-10s", name)
 			for _, sc := range stageCols {
 				fmt.Fprintf(w, " %10.3f", ms[sc])
+			}
+			if shapes {
+				sh := r.Result.DivisionStats.Shapes
+				fmt.Fprintf(w, " %8d %8d %8d", sh.Hits, sh.Misses, sh.Distinct)
 			}
 			fmt.Fprintln(w)
 		}
@@ -376,7 +394,7 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 // circuit, a timed graph build plus every requested engine, run strictly
 // sequentially so wall times do not contend with each other. With edits > 0
 // each circuit additionally replays that many ECO batches (first engine).
-func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, edits int, outPath, label string) {
+func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, edits int, memo bool, outPath, label string) {
 	start := time.Now()
 	if outPath == "auto" {
 		outPath = benchrec.DefaultFilename(start)
@@ -396,6 +414,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		BuildWorkers: buildWorkers,
 		DivWorkers:   workers,
 		ILPBudgetMs:  float64(ilpBudget.Milliseconds()),
+		Memoize:      memo,
 	}
 	for _, name := range names {
 		l, err := loadLayout(name, scale)
@@ -409,7 +428,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		c := benchrec.CircuitOf(name, g.Stats)
 		var first *mpl.Result
 		for _, s := range specs {
-			o := s.options(k, seed, ilpBudget, workers, buildWorkers)
+			o := s.options(k, seed, ilpBudget, workers, buildWorkers, memo)
 			o.Build = mpl.BuildOptions{} // graph already built above
 			res, err := mpl.DecomposeGraph(g, o)
 			if err != nil {
@@ -421,7 +440,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 			c.Algorithms = append(c.Algorithms, benchrec.AlgorithmRunOf(s.label, res))
 		}
 		if edits > 0 {
-			opts := specs[0].options(k, seed, ilpBudget, workers, buildWorkers)
+			opts := specs[0].options(k, seed, ilpBudget, workers, buildWorkers, memo)
 			er, err := runEditReplay(name, l, first, opts, specs[0].label, edits)
 			if err != nil {
 				log.Fatal(err)

@@ -73,12 +73,17 @@ type decomposeRequest struct {
 	Engine string `json:"engine,omitempty"`
 	// RaceBudgetMs bounds each component's race (engine "race" only);
 	// 0 means the server default (2000 ms), capped by the request deadline.
-	RaceBudgetMs int64      `json:"race_budget_ms,omitempty"`
-	Alpha        float64    `json:"alpha,omitempty"`
-	Seed         int64      `json:"seed,omitempty"`
-	Workers      int        `json:"workers,omitempty"`       // per-request component workers
-	BuildWorkers int        `json:"build_workers,omitempty"` // graph-construction workers, capped by -build-workers
-	TimeoutMs    int64      `json:"timeout_ms,omitempty"`    // capped by the server's -timeout
+	RaceBudgetMs int64   `json:"race_budget_ms,omitempty"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Workers      int     `json:"workers,omitempty"`       // per-request component workers
+	BuildWorkers int     `json:"build_workers,omitempty"` // graph-construction workers, capped by -build-workers
+	// Memoize enables canonical-shape memoization: repeated identical
+	// components (standard cells) are answered from the server's
+	// process-wide shape cache instead of re-solved. Byte-identical
+	// results; ignored by engine "race".
+	Memoize      bool       `json:"memoize,omitempty"`
+	TimeoutMs    int64      `json:"timeout_ms,omitempty"` // capped by the server's -timeout
 	IncludeMasks bool       `json:"include_masks,omitempty"`
 	Layout       layoutJSON `json:"layout"`
 }
@@ -97,20 +102,31 @@ type decomposeResponse struct {
 	// stitch/merge). Absent on cache hits — nothing ran. Full solves omit
 	// "build" (the graph may have come from the graph cache); incremental
 	// solves include their dirty-region build.
-	StageMs   map[string]float64 `json:"stage_ms,omitempty"`
-	Fragments int                `json:"fragments"`
-	Conflicts int                `json:"conflicts"`
-	Stitches  int                `json:"stitches"`
-	Proven    bool               `json:"proven"`
-	Degraded  int                `json:"degraded"`
-	Cached    bool               `json:"cached"`
-	ElapsedMs float64            `json:"elapsed_ms"`
+	StageMs map[string]float64 `json:"stage_ms,omitempty"`
+	// Shapes reports this solve's canonical-shape cache traffic (memoized
+	// requests only; absent on cache hits and memo-off solves).
+	Shapes    *shapeJSON `json:"shapes,omitempty"`
+	Fragments int        `json:"fragments"`
+	Conflicts int        `json:"conflicts"`
+	Stitches  int        `json:"stitches"`
+	Proven    bool       `json:"proven"`
+	Degraded  int        `json:"degraded"`
+	Cached    bool       `json:"cached"`
+	ElapsedMs float64    `json:"elapsed_ms"`
 	// LayoutHash identifies the decomposed geometry; it is the session key
 	// for POST /v1/decompose/incremental.
 	LayoutHash  string           `json:"layout_hash,omitempty"`
 	Incremental *incrementalJSON `json:"incremental,omitempty"`
 	Masks       [][]rectJSON     `json:"masks,omitempty"`
 	Error       string           `json:"error,omitempty"`
+}
+
+// shapeJSON is the wire form of one solve's (or the aggregate) shape-cache
+// counters.
+type shapeJSON struct {
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Distinct int `json:"distinct"`
 }
 
 // editJSON is the wire form of one ECO operation.
@@ -137,6 +153,7 @@ type incrementalRequest struct {
 	Seed         int64      `json:"seed,omitempty"`
 	Workers      int        `json:"workers,omitempty"`
 	BuildWorkers int        `json:"build_workers,omitempty"`
+	Memoize      bool       `json:"memoize,omitempty"`
 	TimeoutMs    int64      `json:"timeout_ms,omitempty"`
 	IncludeMasks bool       `json:"include_masks,omitempty"`
 }
@@ -322,7 +339,7 @@ const maxK = 16
 // relative to solves, so sustained overlap is rare); operators running high
 // request concurrency on narrow machines should lower -build-workers (see
 // docs/API.md).
-func (s *server) resolveOptions(k int, algName, engine string, raceBudgetMs int64, alpha float64, seed int64, workers, buildWorkers int) (core.Options, error) {
+func (s *server) resolveOptions(k int, algName, engine string, raceBudgetMs int64, alpha float64, seed int64, workers, buildWorkers int, memoize bool) (core.Options, error) {
 	if k < 0 || k > maxK {
 		return core.Options{}, fmt.Errorf("k must be in [2, %d] (or 0 for the default 4), got %d", maxK, k)
 	}
@@ -363,6 +380,7 @@ func (s *server) resolveOptions(k int, algName, engine string, raceBudgetMs int6
 		RaceBudget: raceBudget,
 		Alpha:      alpha,
 		Seed:       seed,
+		Memoize:    memoize,
 		Build:      core.BuildOptions{Workers: buildWorkers},
 		Division:   division.Options{Workers: workers},
 	}, nil
@@ -386,7 +404,7 @@ func (s *server) requestCtx(ctx context.Context, timeoutMs int64) (context.Conte
 
 // decomposeOne converts one wire request into a service call.
 func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decomposeResponse, error) {
-	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers, req.Memoize)
 	if err != nil {
 		return decomposeResponse{}, err
 	}
@@ -419,6 +437,9 @@ func (s *server) decomposeOne(ctx context.Context, req *decomposeRequest) (decom
 	if !cached {
 		resp.Engines = res.DivisionStats.Engines
 		resp.StageMs = benchrec.StageMsOf(res.DivisionStats.Stages)
+		if sh := res.DivisionStats.Shapes; sh.Hits+sh.Misses > 0 {
+			resp.Shapes = &shapeJSON{Hits: sh.Hits, Misses: sh.Misses, Distinct: sh.Distinct}
+		}
 	}
 	if req.IncludeMasks {
 		resp.Masks = masksToJSON(res)
@@ -443,7 +464,7 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty edit batch")
 		return
 	}
-	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers)
+	opts, err := s.resolveOptions(req.K, req.Algorithm, req.Engine, req.RaceBudgetMs, req.Alpha, req.Seed, req.Workers, req.BuildWorkers, req.Memoize)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -486,6 +507,9 @@ func (s *server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 	if !cached {
 		resp.Engines = res.DivisionStats.Engines
 		resp.StageMs = benchrec.StageMsOf(res.DivisionStats.Stages)
+		if sh := res.DivisionStats.Shapes; sh.Hits+sh.Misses > 0 {
+			resp.Shapes = &shapeJSON{Hits: sh.Hits, Misses: sh.Misses, Distinct: sh.Distinct}
+		}
 	}
 	if estats != nil {
 		resp.Incremental = &incrementalJSON{
@@ -597,6 +621,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"sessions":           st.Sessions,
 		"engines":            engines,
 		"stages":             stages,
+		"shapes": map[string]int{
+			"hits":     st.Shapes.Hits,
+			"misses":   st.Shapes.Misses,
+			"distinct": st.Shapes.Distinct,
+		},
 	})
 }
 

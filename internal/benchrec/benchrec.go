@@ -40,6 +40,9 @@ type Run struct {
 	BuildWorkers int     `json:"build_workers"`
 	DivWorkers   int     `json:"division_workers"`
 	ILPBudgetMs  float64 `json:"ilp_budget_ms,omitempty"`
+	// Memoize records whether canonical-shape memoization was on for the
+	// sweep (shape counters then appear per algorithm run).
+	Memoize bool `json:"memoize,omitempty"`
 
 	Circuits []Circuit `json:"circuits"`
 }
@@ -124,6 +127,11 @@ type AlgorithmRun struct {
 	// across division workers, so with DivWorkers > 1 it is CPU-style
 	// time, like SolverMs.
 	StageMs map[string]float64 `json:"stage_ms,omitempty"`
+	// Shape-cache counters of the run (canonical-shape memoization;
+	// all omitted for memo-off runs, which report no shape traffic).
+	ShapeHits     int `json:"shape_hits,omitempty"`
+	ShapeMisses   int `json:"shape_misses,omitempty"`
+	ShapeDistinct int `json:"shape_distinct,omitempty"`
 }
 
 // Ms converts a duration to the trajectory's unit (milliseconds, with
@@ -150,13 +158,16 @@ func CircuitOf(name string, st core.BuildStats) Circuit {
 // AlgorithmRunOf records one engine's result under the given column name.
 func AlgorithmRunOf(algorithm string, res *core.Result) AlgorithmRun {
 	return AlgorithmRun{
-		Algorithm: algorithm,
-		Conflicts: res.Conflicts,
-		Stitches:  res.Stitches,
-		Proven:    res.Proven,
-		AssignMs:  Ms(res.AssignTime),
-		SolverMs:  Ms(res.SolverTime),
-		StageMs:   StageMsOf(res.DivisionStats.Stages),
+		Algorithm:     algorithm,
+		Conflicts:     res.Conflicts,
+		Stitches:      res.Stitches,
+		Proven:        res.Proven,
+		AssignMs:      Ms(res.AssignTime),
+		SolverMs:      Ms(res.SolverTime),
+		StageMs:       StageMsOf(res.DivisionStats.Stages),
+		ShapeHits:     res.DivisionStats.Shapes.Hits,
+		ShapeMisses:   res.DivisionStats.Shapes.Misses,
+		ShapeDistinct: res.DivisionStats.Shapes.Distinct,
 	}
 }
 

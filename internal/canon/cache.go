@@ -1,0 +1,172 @@
+// Shape cache: a bounded, single-flight store of solved color assignments
+// keyed by canonical form.
+//
+// Identity is two-level. The outer key (options signature + Form.Key) names
+// an isomorphism class under one solver configuration; inside a class,
+// representatives are keyed by the piece's exact labeled encoding. A hit is
+// served only for a byte-identical labeled encoding: the engines break ties
+// by vertex index, so they are not equivariant under relabeling, and
+// serving a differently-labeled twin's colors through the vertex mapping
+// could differ from what a memo-off solve of this piece would have
+// produced. Byte-equal encodings, by contrast, drive the deterministic
+// solver identically, so replaying a stored representative is exact
+// (DESIGN.md §11). The canonical class still earns its keep: it is the
+// granularity of single-flight, LRU accounting and the Distinct counter,
+// and the unit a future cluster-wide store would ship.
+//
+// Colors are stored in canonical-label space (stored[Perm[v]] = colors[v])
+// and rehydrated through the reader's own Perm; for byte-identical
+// encodings the deterministic canonical search yields the identical Perm,
+// so the round trip is exact. Storing canonical-space colors keeps every
+// representative of a class directly comparable — the invariant the
+// equivalence tests exercise.
+package canon
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// State reports how an Acquire resolved.
+type State int
+
+const (
+	// Hit: the returned colors are a cached solution for this exact
+	// labeled encoding. The slice is shared and must not be written.
+	Hit State = iota
+	// Owner: the caller must solve the piece and then call Finish
+	// (with the solved colors, or nil to release without storing).
+	Owner
+	// Bypass: the context died while waiting on another solver's flight;
+	// the caller should solve locally and not call Finish.
+	Bypass
+)
+
+// maxRepsPerClass bounds the labeled representatives retained per
+// isomorphism class. Repeated standard cells produce a handful of distinct
+// labelings per shape (one per fragment-numbering order the builder can
+// emit); anything beyond this is solved without being stored.
+const maxRepsPerClass = 8
+
+// classEntry is one isomorphism class's cache line.
+type classEntry struct {
+	key  string
+	elem *list.Element
+	// reps maps a labeled encoding to its canonical-space colors. Values
+	// are immutable once stored; the map is only read via keyed lookups,
+	// never ranged, so it cannot leak iteration order.
+	reps map[string][]int
+}
+
+// flight is an in-progress solve of some representative of a class.
+type flight struct {
+	done chan struct{}
+}
+
+// ShapeCache is a process-wide, bounded, single-flight shape store. The
+// zero value is not usable; call NewShapeCache.
+type ShapeCache struct {
+	mu      sync.Mutex
+	classes map[string]*classEntry // guarded by mu
+	order   *list.List             // guarded by mu; front = most recently used
+	flights map[string]*flight     // guarded by mu
+	max     int                    // guarded by mu; class-count bound
+}
+
+// NewShapeCache returns a cache bounded to maxClasses isomorphism classes
+// (LRU-evicted beyond that).
+func NewShapeCache(maxClasses int) *ShapeCache {
+	if maxClasses < 1 {
+		maxClasses = 1
+	}
+	return &ShapeCache{
+		classes: make(map[string]*classEntry),
+		order:   list.New(),
+		flights: make(map[string]*flight),
+		max:     maxClasses,
+	}
+}
+
+// Acquire looks up the class key and labeled encoding. On Hit the returned
+// colors (canonical-space, shared, read-only) solve this encoding. On
+// Owner the caller holds the class's single flight and must call Finish
+// exactly once. On Bypass (context cancelled while another flight was in
+// progress) the caller solves locally and must not call Finish. When a
+// flight for the class completes without storing this encoding, waiters
+// re-enter the loop and one becomes the next owner.
+func (c *ShapeCache) Acquire(ctx context.Context, key string, enc []byte) ([]int, State) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.classes[key]; ok {
+			if colors, ok := e.reps[string(enc)]; ok {
+				c.order.MoveToFront(e.elem)
+				c.mu.Unlock()
+				return colors, Hit
+			}
+		}
+		f, inFlight := c.flights[key]
+		if !inFlight {
+			c.flights[key] = &flight{done: make(chan struct{})}
+			c.mu.Unlock()
+			return nil, Owner
+		}
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, Bypass
+		}
+	}
+}
+
+// Finish completes an Owner's flight. A non-nil colors slice (canonical
+// space; ownership transfers to the cache) is stored for enc unless the
+// class already holds maxRepsPerClass representatives; nil releases the
+// flight without storing (degraded or cancelled solves must not populate
+// the cache).
+func (c *ShapeCache) Finish(key string, enc []byte, colors []int) {
+	c.mu.Lock()
+	if colors != nil {
+		e, ok := c.classes[key]
+		if !ok {
+			e = &classEntry{key: key, reps: make(map[string][]int)}
+			e.elem = c.order.PushFront(e)
+			c.classes[key] = e
+		} else {
+			c.order.MoveToFront(e.elem)
+		}
+		if len(e.reps) < maxRepsPerClass {
+			e.reps[string(enc)] = colors
+		}
+		c.evictLocked()
+	}
+	f := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+}
+
+// evictLocked drops least-recently-used classes until the bound holds.
+//
+//lint:holds mu
+func (c *ShapeCache) evictLocked() {
+	for len(c.classes) > c.max {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*classEntry)
+		c.order.Remove(back)
+		delete(c.classes, e.key)
+	}
+}
+
+// Len reports the resident class count (test hook).
+func (c *ShapeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.classes)
+}

@@ -1,0 +1,123 @@
+package canon_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpl/internal/canon"
+)
+
+func TestShapeCacheHitRequiresExactEncoding(t *testing.T) {
+	c := canon.NewShapeCache(8)
+	ctx := context.Background()
+	colors, st := c.Acquire(ctx, "class-a", []byte("enc-1"))
+	if st != canon.Owner || colors != nil {
+		t.Fatalf("first Acquire: got (%v, %v), want (nil, Owner)", colors, st)
+	}
+	c.Finish("class-a", []byte("enc-1"), []int{0, 1, 2})
+
+	colors, st = c.Acquire(ctx, "class-a", []byte("enc-1"))
+	if st != canon.Hit || len(colors) != 3 {
+		t.Fatalf("same encoding: got (%v, %v), want stored Hit", colors, st)
+	}
+
+	// Same class, different labeled encoding: must solve, not hit.
+	colors, st = c.Acquire(ctx, "class-a", []byte("enc-2"))
+	if st != canon.Owner {
+		t.Fatalf("sibling encoding: got state %v, want Owner", st)
+	}
+	c.Finish("class-a", []byte("enc-2"), []int{2, 1, 0})
+	if c.Len() != 1 {
+		t.Fatalf("sibling encodings must share one class entry, have %d", c.Len())
+	}
+}
+
+func TestShapeCacheFinishNilReleasesWithoutStoring(t *testing.T) {
+	c := canon.NewShapeCache(8)
+	ctx := context.Background()
+	if _, st := c.Acquire(ctx, "k", []byte("e")); st != canon.Owner {
+		t.Fatalf("want Owner, got %v", st)
+	}
+	c.Finish("k", []byte("e"), nil)
+	if c.Len() != 0 {
+		t.Fatalf("nil Finish stored an entry")
+	}
+	if _, st := c.Acquire(ctx, "k", []byte("e")); st != canon.Owner {
+		t.Fatalf("after nil Finish the next caller must own the flight, got %v", st)
+	}
+	c.Finish("k", []byte("e"), []int{1})
+}
+
+func TestShapeCacheLRUEviction(t *testing.T) {
+	c := canon.NewShapeCache(2)
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, st := c.Acquire(ctx, k, []byte(k)); st != canon.Owner {
+			t.Fatalf("key %q: want Owner, got %v", k, st)
+		}
+		c.Finish(k, []byte(k), []int{0})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache exceeded bound: %d classes", c.Len())
+	}
+	// "a" was least recently used and must be gone; "c" must still hit.
+	if _, st := c.Acquire(ctx, "a", []byte("a")); st != canon.Owner {
+		t.Fatalf("evicted key: want Owner, got %v", st)
+	}
+	c.Finish("a", []byte("a"), nil)
+	if _, st := c.Acquire(ctx, "c", []byte("c")); st != canon.Hit {
+		t.Fatalf("recent key evicted")
+	}
+}
+
+// TestShapeCacheSingleFlight: N concurrent acquirers of one encoding
+// produce exactly one owner; every waiter gets the owner's colors.
+func TestShapeCacheSingleFlight(t *testing.T) {
+	c := canon.NewShapeCache(8)
+	ctx := context.Background()
+	const n = 16
+	var owners atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			colors, st := c.Acquire(ctx, "hot", []byte("enc"))
+			switch st {
+			case canon.Owner:
+				owners.Add(1)
+				c.Finish("hot", []byte("enc"), []int{7})
+			case canon.Hit:
+				if len(colors) != 1 || colors[0] != 7 {
+					t.Errorf("hit returned wrong colors %v", colors)
+				}
+			default:
+				t.Errorf("unexpected state %v", st)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := owners.Load(); got != 1 {
+		t.Fatalf("%d owners for one hot shape, want 1", got)
+	}
+}
+
+// TestShapeCacheBypassOnCancelledWait: a waiter whose context dies while
+// another flight is in progress bypasses rather than blocking.
+func TestShapeCacheBypassOnCancelledWait(t *testing.T) {
+	c := canon.NewShapeCache(8)
+	if _, st := c.Acquire(context.Background(), "k", []byte("e")); st != canon.Owner {
+		t.Fatalf("want Owner, got %v", st)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, st := c.Acquire(ctx, "k", []byte("e")); st != canon.Bypass {
+		t.Fatalf("cancelled waiter: want Bypass, got %v", st)
+	}
+	c.Finish("k", []byte("e"), []int{1})
+}

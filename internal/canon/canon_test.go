@@ -1,0 +1,232 @@
+package canon_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpl/internal/canon"
+	"mpl/internal/core"
+	"mpl/internal/geom"
+	"mpl/internal/graph"
+	"mpl/internal/layout"
+	"mpl/internal/synth"
+)
+
+// relabel builds the graph isomorphic to g under perm (vertex v of g
+// becomes vertex perm[v]), with insertion order shuffled by the permutation
+// so adjacency-list order differs too.
+func relabel(g *graph.Graph, perm []int) *graph.Graph {
+	h := graph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.ConflictNeighbors(u) {
+			if int(w) > u {
+				h.AddConflict(perm[u], perm[int(w)])
+			}
+		}
+		for _, w := range g.StitchNeighbors(u) {
+			if int(w) > u {
+				h.AddStitch(perm[u], perm[int(w)])
+			}
+		}
+		for _, w := range g.FriendNeighbors(u) {
+			if int(w) > u {
+				h.AddFriend(perm[u], perm[int(w)])
+			}
+		}
+	}
+	return h
+}
+
+// components extracts every connected component of a layout's
+// decomposition graph as its own graph.
+func components(t *testing.T, l *layout.Layout) []*graph.Graph {
+	t.Helper()
+	dg, err := core.BuildGraph(l, core.BuildOptions{})
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	var out []*graph.Graph
+	for _, comp := range dg.G.Components() {
+		sub, _ := dg.G.Subgraph(comp)
+		out = append(out, sub)
+	}
+	return out
+}
+
+// checkCertificate verifies a Form against the graph it came from: the
+// permutation is a bijection and actually reproduces Canon.
+func checkCertificate(t *testing.T, g *graph.Graph, f canon.Form) {
+	t.Helper()
+	if f.N != g.N() {
+		t.Fatalf("Form.N = %d, graph has %d vertices", f.N, g.N())
+	}
+	if len(f.Perm) != g.N() {
+		t.Fatalf("len(Perm) = %d, want %d", len(f.Perm), g.N())
+	}
+	seen := make([]bool, g.N())
+	for _, p := range f.Perm {
+		if p < 0 || int(p) >= g.N() || seen[p] {
+			t.Fatalf("Perm is not a bijection: %v", f.Perm)
+		}
+		seen[p] = true
+	}
+	if !f.Exact {
+		return
+	}
+	if got := canon.EncodeRelabeled(g, f.Perm); !bytes.Equal(got, f.Canon) {
+		t.Fatalf("EncodeRelabeled(g, Perm) != Canon\n got %x\nwant %x", got, f.Canon)
+	}
+}
+
+// TestCanonicalFormRelabelingInvariant is the core property: over 200
+// seeded random layouts, every solver piece's canonical form is invariant
+// under a random relabeling of its vertices, and the budget-bail decision
+// (Exact) is the same for both labelings.
+func TestCanonicalFormRelabelingInvariant(t *testing.T) {
+	cases := 200
+	if testing.Short() {
+		cases = 40
+	}
+	for seed := 0; seed < cases; seed++ {
+		l := synth.Random(int64(seed))
+		for ci, g := range components(t, l) {
+			f := canon.Canonicalize(g)
+			checkCertificate(t, g, f)
+
+			rng := rand.New(rand.NewSource(int64(seed)*1009 + int64(ci)))
+			perm := rng.Perm(g.N())
+			h := relabel(g, perm)
+			fh := canon.Canonicalize(h)
+			checkCertificate(t, h, fh)
+
+			if f.Fingerprint != fh.Fingerprint {
+				t.Fatalf("seed %d comp %d: fingerprint changed under relabeling: %x vs %x",
+					seed, ci, f.Fingerprint, fh.Fingerprint)
+			}
+			if f.Exact != fh.Exact {
+				t.Fatalf("seed %d comp %d: budget bail is label-dependent (%v vs %v)",
+					seed, ci, f.Exact, fh.Exact)
+			}
+			if f.Exact && !bytes.Equal(f.Canon, fh.Canon) {
+				t.Fatalf("seed %d comp %d: canonical form changed under relabeling", seed, ci)
+			}
+		}
+	}
+}
+
+// shapeKeys returns the sorted multiset of canonical identities of a
+// layout's components.
+func shapeKeys(t *testing.T, l *layout.Layout) []string {
+	t.Helper()
+	var keys []string
+	for _, g := range components(t, l) {
+		f := canon.Canonicalize(g)
+		keys = append(keys, fmt.Sprintf("%d:%x:%x", f.N, f.Fingerprint, f.Key(canon.Encode(g))))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestCanonicalFormTranslationInvariant: translating a layout's geometry
+// leaves the multiset of component canonical forms unchanged — the
+// property that makes repeated standard cells share cache entries.
+func TestCanonicalFormTranslationInvariant(t *testing.T) {
+	cases := 60
+	if testing.Short() {
+		cases = 15
+	}
+	for seed := 0; seed < cases; seed++ {
+		l := synth.Random(int64(seed))
+		moved := layout.New(l.Name + "-moved")
+		dx, dy := 7_340, 12_660 // deliberately not grid-aligned multiples
+		for _, pg := range l.Features {
+			var rects []geom.Rect
+			for _, r := range pg.Rects {
+				rects = append(rects, geom.Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy})
+			}
+			moved.Add(geom.NewPolygon(rects...))
+		}
+		a, b := shapeKeys(t, l), shapeKeys(t, moved)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: component count changed under translation: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: shape multiset changed under translation:\n %s\nvs\n %s", seed, a[i], b[i])
+			}
+		}
+	}
+}
+
+// sixCycle and twoTriangles have identical degree sequences and WL color
+// partitions (every vertex: 2 conflict neighbors of the same class), so
+// their fingerprints collide by construction — only the exact canonical
+// form tells them apart. This is the pair that seeds the fuzz corpus.
+func sixCycle() *graph.Graph {
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddConflict(i, (i+1)%6)
+	}
+	return g
+}
+
+func twoTriangles() *graph.Graph {
+	g := graph.New(6)
+	g.AddConflict(0, 1)
+	g.AddConflict(1, 2)
+	g.AddConflict(2, 0)
+	g.AddConflict(3, 4)
+	g.AddConflict(4, 5)
+	g.AddConflict(5, 3)
+	return g
+}
+
+// TestFingerprintCollisionCaughtByExactCheck pins that the fingerprint is
+// deliberately weaker than the canonical form: C6 and 2×C3 collide in
+// fingerprint but have distinct canonical forms, so a cache keyed by
+// Form.Key can never conflate them.
+func TestFingerprintCollisionCaughtByExactCheck(t *testing.T) {
+	c6, tt := sixCycle(), twoTriangles()
+	fc, ft := canon.Canonicalize(c6), canon.Canonicalize(tt)
+	if fc.Fingerprint != ft.Fingerprint {
+		t.Fatalf("expected engineered fingerprint collision, got %x vs %x", fc.Fingerprint, ft.Fingerprint)
+	}
+	if !fc.Exact || !ft.Exact {
+		t.Fatalf("6-vertex graphs must canonicalize exactly (Exact %v, %v)", fc.Exact, ft.Exact)
+	}
+	if bytes.Equal(fc.Canon, ft.Canon) {
+		t.Fatalf("non-isomorphic graphs share a canonical form")
+	}
+}
+
+// TestCanonicalFormsDistinguishNonIsomorphic: across the whole random
+// corpus, byte-equal canonical forms only ever pair pieces with identical
+// vertex and edge counts (a cheap necessary condition for isomorphism) —
+// and decoding the canonical form itself must reproduce those counts.
+func TestCanonicalFormsDistinguishNonIsomorphic(t *testing.T) {
+	cases := 80
+	if testing.Short() {
+		cases = 20
+	}
+	type profile struct{ n, conf, stit int }
+	byCanon := map[string]profile{}
+	for seed := 0; seed < cases; seed++ {
+		for _, g := range components(t, synth.Random(int64(seed))) {
+			f := canon.Canonicalize(g)
+			if !f.Exact {
+				continue
+			}
+			p := profile{g.N(), g.ConflictEdgeCount(), g.StitchEdgeCount()}
+			if prev, ok := byCanon[string(f.Canon)]; ok && prev != p {
+				t.Fatalf("canonical form collision across distinct profiles: %+v vs %+v", prev, p)
+			}
+			byCanon[string(f.Canon)] = p
+		}
+	}
+	if len(byCanon) < 2 {
+		t.Fatalf("corpus degenerate: only %d distinct shapes", len(byCanon))
+	}
+}

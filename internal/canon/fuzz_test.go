@@ -1,0 +1,168 @@
+package canon_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mpl/internal/canon"
+	"mpl/internal/graph"
+)
+
+// decodeGraph builds a small graph from fuzz bytes: one byte of vertex
+// count (mapped to 1..7 so the brute-force oracle below stays cheap and
+// the canonical search always completes), then 3-byte [type, u, v] edge
+// records until a 0xFF separator or the bytes run out. Returns the graph
+// and the unconsumed remainder.
+func decodeGraph(data []byte) (*graph.Graph, []byte) {
+	if len(data) == 0 {
+		return graph.New(1), nil
+	}
+	n := int(data[0])%7 + 1
+	data = data[1:]
+	g := graph.New(n)
+	for len(data) > 0 {
+		if data[0] == 0xFF {
+			return g, data[1:]
+		}
+		if len(data) < 3 {
+			return g, nil
+		}
+		typ, u, v := int(data[0])%3, int(data[1])%n, int(data[2])%n
+		data = data[3:]
+		if u == v {
+			continue
+		}
+		switch typ {
+		case 0:
+			g.AddConflict(u, v)
+		case 1:
+			g.AddStitch(u, v)
+		case 2:
+			g.AddFriend(u, v)
+		}
+	}
+	return g, nil
+}
+
+// permFromBytes derives a deterministic permutation of 0..n-1 from fuzz
+// bytes (xorshift-driven Fisher–Yates, seeded by folding the bytes in).
+func permFromBytes(b []byte, n int) []int {
+	x := uint32(2463534242)
+	for _, c := range b {
+		x = (x ^ uint32(c)) * 2654435761
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		j := int(x % uint32(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// isomorphicBruteForce is the ground-truth oracle: try every permutation
+// of g1's vertices and test whether it maps g1's edge sets onto g2's,
+// using the byte encoding as the equality judge. Only called for n ≤ 7.
+func isomorphicBruteForce(g1, g2 *graph.Graph) bool {
+	if g1.N() != g2.N() {
+		return false
+	}
+	enc2 := canon.Encode(g2)
+	n := g1.N()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			return bytes.Equal(canon.EncodeRelabeled(g1, perm), enc2)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(0)
+}
+
+// seedPair encodes two graphs back to back in decodeGraph's byte format.
+func seedPair(n1 int, edges1 [][3]int, n2 int, edges2 [][3]int) []byte {
+	var b []byte
+	emit := func(n int, edges [][3]int) {
+		b = append(b, byte(n-1)) // (n-1)%7+1 == n for n ≤ 7
+		for _, e := range edges {
+			b = append(b, byte(e[0]), byte(e[1]), byte(e[2]))
+		}
+		b = append(b, 0xFF)
+	}
+	emit(n1, edges1)
+	emit(n2, edges2)
+	return b
+}
+
+// FuzzCanonicalForm drives two byte-decoded graphs and a byte-derived
+// relabeling through Canonicalize and checks, against a brute-force
+// isomorphism oracle, that the canonical identity is exactly isomorphism:
+// never split by relabeling, never conflated by a fingerprint collision.
+func FuzzCanonicalForm(f *testing.F) {
+	// The engineered fingerprint collision: a 6-cycle vs two triangles
+	// (identical WL profiles, non-isomorphic). Only the exact canonical
+	// form separates them.
+	f.Add(seedPair(6,
+		[][3]int{{0, 0, 1}, {0, 1, 2}, {0, 2, 3}, {0, 3, 4}, {0, 4, 5}, {0, 5, 0}},
+		6,
+		[][3]int{{0, 0, 1}, {0, 1, 2}, {0, 2, 0}, {0, 3, 4}, {0, 4, 5}, {0, 5, 3}}))
+	// An isomorphic pair under a nontrivial relabeling, with mixed edge
+	// types: a conflict path 0-1-2 with a stitch pendant, twice.
+	f.Add(seedPair(4,
+		[][3]int{{0, 0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 0, 3}},
+		4,
+		[][3]int{{0, 3, 2}, {0, 2, 1}, {1, 1, 0}, {2, 3, 0}}))
+	// A K5 cross — the native QP conflict shape.
+	f.Add(seedPair(5,
+		[][3]int{{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4}, {0, 1, 2}, {0, 1, 3}, {0, 1, 4}, {0, 2, 3}, {0, 2, 4}, {0, 3, 4}},
+		1, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g1, rest := decodeGraph(data)
+		g2, rest2 := decodeGraph(rest)
+
+		f1 := canon.Canonicalize(g1)
+		checkCertificate(t, g1, f1)
+		if !f1.Exact {
+			t.Fatalf("n=%d piece bailed within budget", g1.N())
+		}
+
+		// Relabeling invariance on g1.
+		perm := permFromBytes(rest2, g1.N())
+		h := relabel(g1, perm)
+		fh := canon.Canonicalize(h)
+		checkCertificate(t, h, fh)
+		if f1.Fingerprint != fh.Fingerprint || !bytes.Equal(f1.Canon, fh.Canon) {
+			t.Fatalf("canonical identity changed under relabeling %v", perm)
+		}
+
+		// Canonical identity ⟺ isomorphism, judged by brute force.
+		f2 := canon.Canonicalize(g2)
+		checkCertificate(t, g2, f2)
+		iso := isomorphicBruteForce(g1, g2)
+		formsEqual := bytes.Equal(f1.Canon, f2.Canon)
+		if iso != formsEqual {
+			t.Fatalf("canonical identity disagrees with isomorphism oracle: iso=%v formsEqual=%v (fp %x vs %x)",
+				iso, formsEqual, f1.Fingerprint, f2.Fingerprint)
+		}
+		if iso && f1.Fingerprint != f2.Fingerprint {
+			t.Fatalf("isomorphic pair with unequal fingerprints")
+		}
+	})
+}

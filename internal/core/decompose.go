@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mpl/internal/balance"
+	"mpl/internal/canon"
 	"mpl/internal/coloring"
 	"mpl/internal/division"
 	"mpl/internal/geom"
@@ -123,6 +124,13 @@ type Options struct {
 	// SDPRestarts / SDPMaxIter tune the relaxation solver (0 = defaults).
 	SDPRestarts int
 	SDPMaxIter  int
+	// Memoize enables canonical-shape memoization of Dispatch solves
+	// (internal/canon, DESIGN.md §11): every solver piece is canonicalized
+	// and byte-identical repeats of an already-solved piece are answered
+	// from a process-wide shape cache instead of re-running an engine.
+	// Results are byte-identical to a memo-off run. Ignored (forced off)
+	// by EngineRace, whose winners are wall-clock dependent.
+	Memoize bool
 	// Build controls graph construction.
 	Build BuildOptions
 	// Division toggles the Section 4 techniques (ablations).
@@ -172,6 +180,10 @@ func (o Options) withDefaults() Options {
 		if o.RaceBudget == 0 {
 			o.RaceBudget = 2 * time.Second
 		}
+		// A race winner is wall-clock dependent, so caching its colors
+		// would replay one timing outcome forever; memoization is a no-op
+		// under race and normalizes off so option spellings compare equal.
+		o.Memoize = false
 	}
 	o.Build.K = o.K
 	o.Division.K = o.K
@@ -307,9 +319,10 @@ func DecomposeGraphContext(ctx context.Context, dg *Graph, opts Options) (*Resul
 // DecomposeContext, the incremental stages of ApplyEdits) arrive through
 // the shared recorder.
 type graphRun struct {
-	dg   *Graph
-	opts Options
-	pool *pipeline.ScratchPool
+	dg     *Graph
+	opts   Options
+	pool   *pipeline.ScratchPool
+	shapes *canon.ShapeCache
 
 	colors     []int
 	stats      division.Stats
@@ -325,6 +338,11 @@ func (r *graphRun) divide(ctx context.Context) error {
 	start := time.Now()
 	tally := newEngineTally()
 	inner := makeSolver(ctx, r.opts, &r.unproven, tally, r.pool)
+	var shapeStats *shapeTally
+	if r.opts.Memoize {
+		shapeStats = newShapeTally()
+		inner = memoSolver(ctx, r.opts, inner, &r.unproven, tally, r.shapes, shapeStats)
+	}
 	solver := func(g *graph.Graph, sc *pipeline.Scratch) []int {
 		t0 := time.Now()
 		colors := inner(g, sc)
@@ -333,6 +351,9 @@ func (r *graphRun) divide(ctx context.Context) error {
 	}
 	r.colors, r.stats = division.DecomposeEnv(ctx, r.dg.G, r.opts.Division, division.Env{Scratch: r.pool}, solver)
 	tally.drainInto(&r.stats)
+	if shapeStats != nil {
+		shapeStats.drainInto(&r.stats)
+	}
 	r.assignTime = time.Since(start)
 	return nil
 }
@@ -372,7 +393,14 @@ func decomposeGraph(ctx context.Context, dg *Graph, opts Options, rec *pipeline.
 // the allocation benchmarks can compare pooled against unpooled arenas
 // without mutating the shared pool under everyone else.
 func decomposeGraphPool(ctx context.Context, dg *Graph, opts Options, rec *pipeline.Recorder, pool *pipeline.ScratchPool) (*Result, error) {
-	run := &graphRun{dg: dg, opts: opts, pool: pool}
+	return decomposeGraphShapes(ctx, dg, opts, rec, pool, sharedShapes)
+}
+
+// decomposeGraphShapes additionally takes the shape cache, so equivalence
+// and stress tests can run against a fresh cache whose hit/miss counters
+// don't depend on what earlier tests populated process-wide.
+func decomposeGraphShapes(ctx context.Context, dg *Graph, opts Options, rec *pipeline.Recorder, pool *pipeline.ScratchPool, shapes *canon.ShapeCache) (*Result, error) {
+	run := &graphRun{dg: dg, opts: opts, pool: pool, shapes: shapes}
 	p := pipeline.New(rec,
 		pipeline.Composite(run.divide),
 		pipeline.Func(pipeline.StageMerge, run.merge),

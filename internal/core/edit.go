@@ -655,6 +655,11 @@ func (r *editRun) divide(ctx context.Context) error {
 		sort.Ints(r.dirty)
 		tally := newEngineTally()
 		inner := makeSolver(ctx, r.opts, &r.unproven, tally, sharedScratch)
+		var shapeStats *shapeTally
+		if r.opts.Memoize {
+			shapeStats = newShapeTally()
+			inner = memoSolver(ctx, r.opts, inner, &r.unproven, tally, sharedShapes, shapeStats)
+		}
 		solver := func(sg *graph.Graph, sc *pipeline.Scratch) []int {
 			t := time.Now()
 			out := inner(sg, sc)
@@ -667,6 +672,9 @@ func (r *editRun) divide(ctx context.Context) error {
 			r.colors[v] = subColors[i]
 		}
 		tally.drainInto(&st)
+		if shapeStats != nil {
+			shapeStats.drainInto(&st)
+		}
 		r.dstats = st
 		r.es.ResolvedFragments = len(r.dirty)
 	}

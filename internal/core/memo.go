@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mpl/internal/canon"
+	"mpl/internal/division"
+	"mpl/internal/graph"
+	"mpl/internal/pipeline"
+)
+
+// sharedShapes is the process-wide canonical-shape cache every memoized
+// solve path shares (like sharedScratch): real workloads repeat standard
+// cells across layouts and across requests, so hits compound over the
+// life of the process. Bounded; distinct shapes beyond the bound evict
+// least-recently-used classes.
+var sharedShapes = canon.NewShapeCache(4096)
+
+// shapeTally accumulates one run's shape-cache counters while division
+// workers hit the cache concurrently; drainInto publishes them to
+// division.Stats.Shapes after the pipeline finishes (the same lifecycle as
+// engineTally). Distinct is counted run-locally — the process-wide cache
+// cannot answer "how many shapes did *this* run touch".
+type shapeTally struct {
+	mu       sync.Mutex
+	hits     int                 // guarded by mu
+	misses   int                 // guarded by mu
+	distinct map[string]struct{} // guarded by mu; only len() is read, never ranged
+}
+
+func newShapeTally() *shapeTally { return &shapeTally{distinct: make(map[string]struct{})} }
+
+func (t *shapeTally) hit(key string) {
+	t.mu.Lock()
+	t.hits++
+	t.distinct[key] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *shapeTally) miss(key string) {
+	t.mu.Lock()
+	t.misses++
+	t.distinct[key] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *shapeTally) drainInto(st *division.Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st.Shapes.Hits += t.hits
+	st.Shapes.Misses += t.misses
+	st.Shapes.Distinct += len(t.distinct)
+}
+
+// shapeOptionsSig is the solver-configuration part of a shape-cache key:
+// two runs may share cached colors only when every option an engine reads
+// matches. Fields that cannot change a piece's deterministic solution are
+// zeroed — worker counts and build tuning don't reach the engines, and the
+// wall-clock budgets (ILPTimeLimit, RaceBudget) are excluded because a
+// budget-expired solve is never stored in the first place (memoSolver
+// skips storing once the run is unproven or cancelled), so every cached
+// entry is the budget-independent exact answer.
+func shapeOptionsSig(o Options) string {
+	o = o.withDefaults()
+	o.Memoize = false
+	o.ILPTimeLimit = 0
+	o.RaceBudget = 0
+	o.Build = BuildOptions{}
+	o.Division = division.Options{}
+	return fmt.Sprintf("%#v", o)
+}
+
+// memoSolver wraps an engine dispatcher with the canonical-shape cache:
+// each piece is encoded and canonicalized, byte-identical repeats of an
+// already-solved piece rehydrate the stored canonical-space colors through
+// the piece's own vertex mapping (tallied as the "memo" engine), and cache
+// misses solve through inner under the class's single flight so a hot
+// shape solves once even when every division worker hits it at the same
+// time. Only clean solves are stored: a piece solved after the run went
+// unproven (ILP budget) or under a dying context releases its flight with
+// nil instead, so the cache never replays degraded colors.
+func memoSolver(ctx context.Context, opts Options, inner division.Solver, unproven *atomic.Bool, tally *engineTally, shapes *canon.ShapeCache, st *shapeTally) division.Solver {
+	sig := shapeOptionsSig(opts)
+	return func(g *graph.Graph, sc *pipeline.Scratch) []int {
+		n := g.N()
+		if n > canon.MaxVertices {
+			return inner(g, sc) // uncounted: never a cache candidate
+		}
+		enc := canon.Encode(g)
+		form := canon.Canonicalize(g)
+		key := sig + "\x00" + string(form.Key(enc))
+		colors, state := shapes.Acquire(ctx, key, enc)
+		switch state {
+		case canon.Hit:
+			st.hit(key)
+			tally.add("memo")
+			out := sc.Ints(n)
+			for v := 0; v < n; v++ {
+				out[v] = colors[form.Perm[v]]
+			}
+			return out
+		case canon.Owner:
+			out := inner(g, sc)
+			var stored []int
+			if ctx.Err() == nil && !unproven.Load() {
+				stored = make([]int, n)
+				for v := 0; v < n; v++ {
+					stored[form.Perm[v]] = out[v]
+				}
+			}
+			shapes.Finish(key, enc, stored)
+			st.miss(key)
+			return out
+		default: // Bypass: context died waiting on another flight
+			st.miss(key)
+			return inner(g, sc)
+		}
+	}
+}

@@ -128,6 +128,23 @@ type Stats struct {
 	// like SolverTime); internal/core folds in the build and merge stages
 	// around it. Lazily allocated, merged across workers like Engines.
 	Stages map[string]pipeline.StageStats
+
+	// Shapes reports the canonical-shape memoization counters of the run
+	// (internal/canon, Options.Memoize). Like Engines, the counters are
+	// produced by the dispatcher in internal/core — this package never
+	// touches them — and arrive after the division finishes; worker-level
+	// Stats always carry zeros here.
+	Shapes ShapeStats
+}
+
+// ShapeStats counts canonical-shape cache traffic for one run: Hits is
+// solver pieces answered from the cache, Misses is pieces that went to an
+// engine (cache miss or memoization bypass), Distinct is the number of
+// distinct shape identities the run touched.
+type ShapeStats struct {
+	Hits     int
+	Misses   int
+	Distinct int
 }
 
 // AddEngine accumulates n dispatches of the named engine into the
@@ -166,6 +183,9 @@ func (s *Stats) addWorker(o Stats) {
 		s.AddEngine(name, n)
 	}
 	s.Stages = pipeline.MergeStages(s.Stages, o.Stages)
+	s.Shapes.Hits += o.Shapes.Hits
+	s.Shapes.Misses += o.Shapes.Misses
+	s.Shapes.Distinct += o.Shapes.Distinct
 }
 
 // Decompose divides the graph, colors every piece with solve, and

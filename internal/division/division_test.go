@@ -389,6 +389,16 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			m := reflect.MakeMap(rv.Field(i).Type())
 			m.SetMapIndex(reflect.ValueOf("probe"), probeMapValue(t, rv.Field(i).Type().Elem()))
 			rv.Field(i).Set(m)
+		case reflect.Struct:
+			// Sub-counter structs (Shapes): every int field set to 1.
+			sv := rv.Field(i)
+			for j := 0; j < sv.NumField(); j++ {
+				if sv.Field(j).Kind() != reflect.Int {
+					t.Fatalf("Stats field %s.%s has kind %s; teach this test (and addWorker) how to merge it",
+						rv.Type().Field(i).Name, sv.Type().Field(j).Name, sv.Field(j).Kind())
+				}
+				sv.Field(j).SetInt(1)
+			}
 		default:
 			t.Fatalf("Stats field %s has kind %s; teach this test (and addWorker) how to merge it",
 				rv.Type().Field(i).Name, rv.Field(i).Kind())
@@ -416,6 +426,8 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 				continue
 			}
 			checkMerged(t, f.Name, got)
+		case reflect.Struct:
+			checkMerged(t, f.Name, dv.Field(i))
 		}
 	}
 }

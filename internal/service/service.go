@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mpl/internal/core"
+	"mpl/internal/division"
 	"mpl/internal/geom"
 	"mpl/internal/layout"
 	"mpl/internal/pipeline"
@@ -81,6 +82,11 @@ type Stats struct {
 	// builds this service actually ran (cache-hit graphs add nothing —
 	// the build they reuse was recorded when it happened).
 	Stages map[string]pipeline.StageStats
+	// Shapes accumulates the canonical-shape memoization counters of
+	// every memoized solve this service executed (core Options.Memoize).
+	// Distinct sums per-run distinct-shape counts, so a shape two solves
+	// both touch is counted by each.
+	Shapes division.ShapeStats
 }
 
 // Service runs decompositions with caching and bounded concurrency. Safe
@@ -266,6 +272,9 @@ func (s *Service) recordEngines(res *core.Result) {
 		}
 	}
 	s.stats.Stages = pipeline.MergeStages(s.stats.Stages, res.DivisionStats.Stages)
+	s.stats.Shapes.Hits += res.DivisionStats.Shapes.Hits
+	s.stats.Shapes.Misses += res.DivisionStats.Shapes.Misses
+	s.stats.Shapes.Distinct += res.DivisionStats.Shapes.Distinct
 }
 
 // recordBuild folds one executed graph build into the aggregate stage

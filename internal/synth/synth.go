@@ -80,9 +80,25 @@ var Table1 = []Spec{
 // patterning in Table 2, in paper order.
 var Table2Names = []string{"C6288", "C7552", "S38417", "S35932", "S38584", "S15850"}
 
-// ByName returns the spec for a circuit name.
+// Extras lists circuits outside the paper's tables that exercise specific
+// subsystems. REPCELL is the canonical-shape memoization workload: many
+// copies of a small set of dense cell shapes (cross clusters and macro
+// patches), with Bumps deliberately zero — bump contacts are placed by the
+// per-macro RNG, so any bump would perturb each macro's surroundings and
+// break the shape repetition the memo cache exists to exploit.
+var Extras = []Spec{
+	{Name: "REPCELL", Gates: 220, Crosses: 20, Macros: 10, MacroW: 5, Bumps: 0},
+}
+
+// ByName returns the spec for a circuit name (paper tables first, then the
+// extra subsystem workloads).
 func ByName(name string) (Spec, bool) {
 	for _, s := range Table1 {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range Extras {
 		if s.Name == name {
 			return s, true
 		}
