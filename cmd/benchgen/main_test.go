@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mpl"
 )
 
 // generate runs the generator into a fresh temp dir and returns file bytes
@@ -55,6 +57,64 @@ func TestBenchgenDeterministic(t *testing.T) {
 	other, _ := generate(t, names[:1], 8, 1)
 	if bytes.Equal(other["C432"], base["C432"]) {
 		t.Error("seed 8 produced the same C432 bytes as seed 7; the seed is not mixed into generation")
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	good := map[string]int{"64k": 64_000, "1m": 1_000_000, "2M": 2_000_000, "500": 500, "12K": 12_000}
+	for in, want := range good {
+		if got, err := parseTarget(in); err != nil || got != want {
+			t.Errorf("parseTarget(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "k", "-3k", "0", "1g", "64kk"} {
+		if _, err := parseTarget(in); err == nil {
+			t.Errorf("parseTarget(%q) did not fail", in)
+		}
+	}
+}
+
+// TestSeriesCalibration: -series emits one layout per target whose feature
+// count lands near the target (the scale factor is calibrated from the
+// base circuit's nominal feature count), deterministically.
+func TestSeriesCalibration(t *testing.T) {
+	emit := func() (map[string][]byte, map[string]int, string) {
+		dir := t.TempDir()
+		var out strings.Builder
+		if err := runSeries("C2670", "1k,4k", 3, dir, false, &out); err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		feats := map[string]int{}
+		for _, n := range []string{"C2670_1k", "C2670_4k"} {
+			path := filepath.Join(dir, n+".lay")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[n] = data
+			l, err := mpl.ReadLayout(path)
+			if err != nil {
+				t.Fatalf("%s: %v", n, err)
+			}
+			feats[n] = len(l.Features)
+		}
+		return files, feats, strings.ReplaceAll(out.String(), dir, "<out>")
+	}
+	files, feats, out := emit()
+	for name, want := range map[string]int{"C2670_1k": 1_000, "C2670_4k": 4_000} {
+		if got := feats[name]; got < want*8/10 || got > want*12/10 {
+			t.Errorf("%s: %d features, want within 20%% of %d", name, got, want)
+		}
+	}
+	files2, _, out2 := emit()
+	if out != out2 {
+		t.Errorf("series status output not deterministic:\n%s\nvs\n%s", out, out2)
+	}
+	for name := range files {
+		if !bytes.Equal(files[name], files2[name]) {
+			t.Errorf("%s: series bytes differ between identical runs", name)
+		}
 	}
 }
 

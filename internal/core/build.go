@@ -10,7 +10,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -157,10 +156,13 @@ func BuildGraphContext(ctx context.Context, l *layout.Layout, opts BuildOptions)
 	}
 	timing := BuildTiming{Split: time.Since(tSplit)}
 
-	// Stage 2 (serial merge): number fragments in feature order and add
-	// stitch edges; both orders match a feature-by-feature serial build.
+	// Stage 2 (serial merge): number fragments in feature order and record
+	// stitch pairs; fragment numbering matches a feature-by-feature serial
+	// build.
 	tMerge := time.Now()
-	b.assembleFragments()
+	if err := b.assembleFragments(); err != nil {
+		return nil, err
+	}
 	timing.Merge += time.Since(tMerge)
 
 	// Stage 3 (parallel over tile shards): conflict and color-friendly edge
@@ -174,15 +176,16 @@ func BuildGraphContext(ctx context.Context, l *layout.Layout, opts BuildOptions)
 	}
 	timing.Edges = time.Since(tEdges)
 
-	// Stage 4 (serial merge): replay per-fragment adjacency in ascending
-	// (i, j) order. Together with the per-fragment neighbor sort this makes
-	// every adjacency list sorted ascending — the graph is a pure function
-	// of the edge *set*, independent of grid geometry, scan order, and
-	// worker count. Incremental rebuilds (ApplyEdits) rely on exactly this:
-	// they splice cached adjacency into freshly discovered edges and must
-	// land on the same canonical form as a from-scratch build.
+	// Stage 4 (serial merge): drain the per-shard edge lists into the CSR
+	// builder and materialize the graph in one two-pass count-then-fill
+	// build. The builder sorts and compacts every adjacency row, so the
+	// graph is a pure function of the edge *set* — independent of grid
+	// geometry, scan order, shard boundaries, and worker count. Incremental
+	// rebuilds (ApplyEdits) rely on exactly this: they splice cached
+	// adjacency into freshly discovered edges and must land on the same
+	// canonical form as a from-scratch build.
 	tMerge = time.Now()
-	b.replayEdges()
+	b.finishGraph()
 	timing.Merge += time.Since(tMerge)
 
 	timing.Total = time.Since(t0)
@@ -206,13 +209,17 @@ type builder struct {
 	// Stage 2 output.
 	frags          []Fragment
 	fragsOfFeature [][]int
+	bld            *graph.Builder
 	g              *graph.Graph
 	stats          BuildStats
 
-	// Stage 3 output, indexed by fragment: neighbors j > i in grid
-	// enumeration order.
-	confOf   [][]int32
-	friendOf [][]int32
+	// Stage 3 output, indexed by shard chunk: flat (u,v) conflict and
+	// color-friendly pairs, u < v (owner-computes dedup). Each chunk is
+	// written by exactly one worker; the merge drains them into the CSR
+	// builder, which sorts and compacts — so shard boundaries never show
+	// through in the finished graph.
+	confShard   [][]int32
+	friendShard [][]int32
 }
 
 // buildCancelled wraps the context error so callers can errors.Is it while
@@ -221,34 +228,43 @@ func buildCancelled(ctx context.Context, stage string) error {
 	return fmt.Errorf("core: graph construction cancelled during %s: %w", stage, context.Cause(ctx))
 }
 
+// shardPlan returns the chunk size and chunk count runSharded will use over
+// [0, n), so stages that stage per-chunk output (the streamed edge lists)
+// can size their slots up front.
+func (b *builder) shardPlan(n int) (chunk, nChunks int) {
+	chunk = n/(b.workers*4) + 1
+	if chunk < 32 {
+		chunk = 32
+	}
+	return chunk, (n + chunk - 1) / chunk
+}
+
 // runSharded executes fn over [0, n) in contiguous chunks pulled from an
-// atomic cursor by min(workers, needed) goroutines. Chunk processing order
-// is nondeterministic but every output is indexed by its input position, so
-// results are deterministic. Returns promptly with ctx's error when
-// cancelled mid-build.
-func (b *builder) runSharded(ctx context.Context, n int, stage string, fn func(lo, hi int)) error {
+// atomic cursor by min(workers, needed) goroutines. fn receives the chunk
+// index alongside the range, so a stage can write per-chunk output slots
+// without coordination. Chunk processing order is nondeterministic but every
+// output is indexed by its input position, so results are deterministic.
+// Returns promptly with ctx's error when cancelled mid-build.
+func (b *builder) runSharded(ctx context.Context, n int, stage string, fn func(ci, lo, hi int)) error {
 	if n == 0 {
 		return nil
 	}
 	workers := b.workers
-	chunk := n/(workers*4) + 1
-	if chunk < 32 {
-		chunk = 32
-	}
-	nChunks := (n + chunk - 1) / chunk
+	chunk, nChunks := b.shardPlan(n)
 	if workers > nChunks {
 		workers = nChunks
 	}
 	if workers == 1 {
-		for lo := 0; lo < n; lo += chunk {
+		for ci := 0; ci < nChunks; ci++ {
 			if ctx.Err() != nil {
 				return buildCancelled(ctx, stage)
 			}
+			lo := ci * chunk
 			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
-			fn(lo, hi)
+			fn(ci, lo, hi)
 		}
 		return nil
 	}
@@ -276,7 +292,7 @@ func (b *builder) runSharded(ctx context.Context, n int, stage string, fn func(l
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				fn(c, lo, hi)
 			}
 		}()
 	}
@@ -312,7 +328,7 @@ func (b *builder) splitFeatures(ctx context.Context) error {
 	defer splitter.grid.Release()
 	queriers := newQuerierLease(splitter.grid)
 	defer queriers.release()
-	return b.runSharded(ctx, nf, "stitch splitting", func(lo, hi int) {
+	return b.runSharded(ctx, nf, "stitch splitting", func(_, lo, hi int) {
 		q := queriers.get()
 		defer queriers.put(q)
 		for fi := lo; fi < hi; fi++ {
@@ -332,11 +348,17 @@ func (b *builder) splitFeatures(ctx context.Context) error {
 }
 
 // assembleFragments runs stage 2: deterministic fragment numbering in
-// feature order and stitch-edge insertion.
-func (b *builder) assembleFragments() {
+// feature order and stitch-pair staging into the CSR builder. It returns an
+// error — instead of letting graph.NewBuilder panic — when the fragment
+// count exceeds the int32 vertex-id capacity, so million-feature inputs that
+// overshoot fail with a diagnosis rather than silent id truncation.
+func (b *builder) assembleFragments() error {
 	total := 0
 	for _, ps := range b.pieces {
 		total += len(ps)
+	}
+	if total > graph.MaxVertices {
+		return fmt.Errorf("core: layout splits into %d fragments, exceeding the graph capacity of %d vertices", total, graph.MaxVertices)
 	}
 	b.frags = make([]Fragment, 0, total)
 	b.fragsOfFeature = make([][]int, len(b.pieces))
@@ -346,16 +368,15 @@ func (b *builder) assembleFragments() {
 			b.frags = append(b.frags, Fragment{Feature: fi, Shape: p})
 		}
 	}
-	b.g = graph.New(len(b.frags))
+	b.bld = graph.NewBuilder(len(b.frags))
 	b.stats = BuildStats{Features: len(b.l.Features), Fragments: len(b.frags)}
 	for fi, pairs := range b.stitches {
 		ids := b.fragsOfFeature[fi]
 		for _, pr := range pairs {
-			if b.g.AddStitch(ids[pr[0]], ids[pr[1]]) {
-				b.stats.StitchEdges++
-			}
+			b.bld.AddStitch(ids[pr[0]], ids[pr[1]])
 		}
 	}
+	return nil
 }
 
 // discoverEdges runs stage 3: conflict and color-friendly candidate
@@ -381,12 +402,14 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 	// Tile sharding (parallel builds only): order fragment indices by the
 	// coarse tile containing their bounds center (ties by index). Workers
 	// then pull contiguous chunks of this order, so one chunk ≈ one
-	// spatial tile run. The serial path scans in index order and inserts
-	// directly, so it allocates neither the order nor the staging slices.
+	// spatial tile run. The serial path scans in index order and streams
+	// pairs straight into the CSR builder, so it allocates neither the
+	// order nor the per-chunk staging buffers.
 	var order []int32
 	if b.workers > 1 {
-		b.confOf = make([][]int32, n)
-		b.friendOf = make([][]int32, n)
+		_, nChunks := b.shardPlan(n)
+		b.confShard = make([][]int32, nChunks)
+		b.friendShard = make([][]int32, nChunks)
 		order = make([]int32, n)
 		for i := range order {
 			order[i] = int32(i)
@@ -411,15 +434,12 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 	minSq := int64(b.minS) * int64(b.minS)
 	friendOuter := int64(radius) * int64(radius)
 	if b.workers == 1 {
-		// Serial hot path: scan with the grid's own stamps and insert each
-		// fragment's canonically ordered neighbors as soon as its query
-		// finishes, reusing two small buffers instead of staging per-fragment
-		// slices for a replay.
-		var confBuf, friendBuf []int32
-		return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
+		// Serial hot path: scan with the grid's own stamps and append each
+		// discovered pair to the builder as soon as the query reports it.
+		// No sorting here — the CSR build's sort+compact canonicalizes.
+		return b.runSharded(ctx, n, "edge generation", func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				fi := b.frags[i]
-				confBuf, friendBuf = confBuf[:0], friendBuf[:0]
 				grid.Near(fi.Shape.Bounds(), radius, func(j int) {
 					if j <= i || fi.Feature == b.frags[j].Feature {
 						return
@@ -427,31 +447,20 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 					d := geom.GapSqPoly(fi.Shape, b.frags[j].Shape)
 					switch {
 					case d <= minSq:
-						confBuf = append(confBuf, int32(j))
+						b.bld.AddConflict(i, j)
 					case d < friendOuter:
-						friendBuf = append(friendBuf, int32(j))
+						b.bld.AddFriend(i, j)
 					}
 				})
-				slices.Sort(confBuf)
-				slices.Sort(friendBuf)
-				for _, j := range confBuf {
-					if b.g.AddConflict(i, int(j)) {
-						b.stats.ConflictEdges++
-					}
-				}
-				for _, j := range friendBuf {
-					if b.g.AddFriend(i, int(j)) {
-						b.stats.FriendEdges++
-					}
-				}
 			}
 		})
 	}
 	queriers := newQuerierLease(grid)
 	defer queriers.release()
-	return b.runSharded(ctx, n, "edge generation", func(lo, hi int) {
+	return b.runSharded(ctx, n, "edge generation", func(ci, lo, hi int) {
 		q := queriers.get()
 		defer queriers.put(q)
+		conf, friend := b.confShard[ci], b.friendShard[ci]
 		for _, oi := range order[lo:hi] {
 			i := int(oi)
 			fi := b.frags[i]
@@ -462,40 +471,46 @@ func (b *builder) discoverEdges(ctx context.Context) error {
 				d := geom.GapSqPoly(fi.Shape, b.frags[j].Shape)
 				switch {
 				case d <= minSq:
-					b.confOf[i] = append(b.confOf[i], int32(j))
+					conf = append(conf, int32(i), int32(j))
 				case d < friendOuter:
-					b.friendOf[i] = append(b.friendOf[i], int32(j))
+					friend = append(friend, int32(i), int32(j))
 				}
 			})
-			slices.Sort(b.confOf[i])
-			slices.Sort(b.friendOf[i])
 		}
+		b.confShard[ci], b.friendShard[ci] = conf, friend
 	})
 }
 
-// replayEdges runs stage 4: insert the discovered edges in ascending (i, j)
-// order. Because every staged neighbor list is sorted, vertex v first
-// receives its smaller neighbors (while they replay) and then its larger
-// ones (when v replays), both ascending — so each adjacency list ends up
-// fully sorted. A serial build (workers == 1) inserted directly during the
-// scan, in the same canonical order, and has nothing staged.
-func (b *builder) replayEdges() {
-	if b.confOf == nil {
-		return
+// finishGraph runs stage 4: drain the per-shard edge lists into the CSR
+// builder (resident pairs from a serial build are already there) and run the
+// two-pass count-then-fill build. Transient degree/offset arrays come from
+// the shared scratch pool; the edge arenas belong to the finished graph.
+// Edge-kind totals come from the builder's compacted rows, so they equal the
+// per-insert tallies of the old mutable path by construction.
+func (b *builder) finishGraph() {
+	var nc, nf int
+	for ci := range b.confShard {
+		nc += len(b.confShard[ci])
+		nf += len(b.friendShard[ci])
 	}
-	for i := range b.frags {
-		for _, j := range b.confOf[i] {
-			if b.g.AddConflict(i, int(j)) {
-				b.stats.ConflictEdges++
-			}
-		}
-		for _, j := range b.friendOf[i] {
-			if b.g.AddFriend(i, int(j)) {
-				b.stats.FriendEdges++
-			}
-		}
+	b.bld.Grow(nc, 0, nf)
+	for ci := range b.confShard {
+		// Each shard is dropped as it drains, so peak heap holds one copy of
+		// the edge set plus the in-progress merge buffer — not two full
+		// copies for the whole drain.
+		b.bld.AddConflictPairs(b.confShard[ci])
+		b.confShard[ci] = nil
+		b.bld.AddFriendPairs(b.friendShard[ci])
+		b.friendShard[ci] = nil
 	}
-	b.confOf, b.friendOf = nil, nil
+	b.confShard, b.friendShard = nil, nil
+	sc := sharedScratch.Get()
+	b.g = b.bld.Build(sc)
+	sharedScratch.Put(sc)
+	b.bld = nil
+	b.stats.ConflictEdges = b.g.ConflictEdgeCount()
+	b.stats.StitchEdges = b.g.StitchEdgeCount()
+	b.stats.FriendEdges = b.g.FriendEdgeCount()
 }
 
 // querierLease is a sync.Pool of queriers over one grid that also tracks

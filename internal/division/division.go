@@ -217,7 +217,10 @@ func DecomposeEnv(ctx context.Context, g *graph.Graph, opts Options, env Env, so
 	}
 	var st Stats
 	tPart := time.Now()
-	comps := g.Components()
+	// Component discovery shards across the division worker pool on large
+	// graphs (lock-free union-find over the CSR arenas); the result is
+	// byte-identical to a serial scan at any worker count.
+	comps := g.ComponentsWorkers(opts.Workers)
 	st.AddStage(pipeline.StagePartition, time.Since(tPart))
 	st.Components = len(comps)
 	if opts.Workers <= 1 {

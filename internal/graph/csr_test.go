@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// equalGraphs reports whether two graphs are byte-identical: same vertex
+// count, same edge-kind totals, and the same adjacency slice contents for
+// every vertex and edge kind.
+func equalGraphs(a, b *Graph) bool {
+	if a.n != b.n || a.nConf != b.nConf || a.nStit != b.nStit || a.nFriend != b.nFriend {
+		return false
+	}
+	eq := func(x, y []int32) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for v := 0; v < a.n; v++ {
+		if !eq(a.conf[v], b.conf[v]) || !eq(a.stit[v], b.stit[v]) || !eq(a.friend[v], b.friend[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomEdges returns m random pairs over n vertices, possibly duplicated
+// (both directions), the multiset both construction paths must agree on.
+func randomEdges(rng *rand.Rand, n, m int) [][2]int {
+	pairs := make([][2]int, 0, m)
+	for len(pairs) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			u, v = v, u // exercise both orientations
+		}
+		pairs = append(pairs, [2]int{u, v})
+		if rng.Intn(3) == 0 { // duplicate pressure: Build must compact
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}
+
+// TestBuilderMatchesMutable is the representation-equivalence property: for
+// random edge multisets, the CSR two-pass build and the legacy mutable Add*
+// path produce byte-identical graphs — adjacency contents, edge counts,
+// duplicate handling.
+func TestBuilderMatchesMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := 200
+	if testing.Short() {
+		cases = 40
+	}
+	for it := 0; it < cases; it++ {
+		n := 2 + rng.Intn(60)
+		conf := randomEdges(rng, n, rng.Intn(4*n))
+		stit := randomEdges(rng, n, rng.Intn(n))
+		friend := randomEdges(rng, n, rng.Intn(2*n))
+
+		mutable := New(n)
+		bld := NewBuilder(n)
+		for _, p := range conf {
+			mutable.AddConflict(p[0], p[1])
+			bld.AddConflict(p[0], p[1])
+		}
+		for _, p := range stit {
+			mutable.AddStitch(p[0], p[1])
+			bld.AddStitch(p[0], p[1])
+		}
+		for _, p := range friend {
+			mutable.AddFriend(p[0], p[1])
+			bld.AddFriend(p[0], p[1])
+		}
+		if csr := bld.Build(nil); !equalGraphs(mutable, csr) {
+			t.Fatalf("iteration %d: CSR build differs from mutable build (n=%d, %d/%d/%d pairs)",
+				it, n, len(conf), len(stit), len(friend))
+		}
+	}
+}
+
+// TestBuilderPairsMatchSingles: the bulk pair interface (the streamed
+// build's shard drain) is equivalent to per-edge appends in any order.
+func TestBuilderPairsMatchSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	conf := randomEdges(rng, n, 120)
+
+	single := NewBuilder(n)
+	for _, p := range conf {
+		single.AddConflict(p[0], p[1])
+	}
+
+	// Split the same multiset into shards appended in reverse order.
+	bulk := NewBuilder(n)
+	flat := make([]int32, 0, 2*len(conf))
+	for _, p := range conf {
+		flat = append(flat, int32(p[0]), int32(p[1]))
+	}
+	half := (len(flat) / 2) &^ 1
+	bulk.AddConflictPairs(flat[half:])
+	bulk.AddConflictPairs(flat[:half])
+
+	if !equalGraphs(single.Build(nil), bulk.Build(nil)) {
+		t.Fatal("bulk pair append differs from per-edge append")
+	}
+}
+
+// TestBuilderArenaRows: a never-edited CSR graph keeps full-capacity row
+// views (appending via the mutable shim must reallocate the row, not
+// clobber the neighbor row in the shared arena).
+func TestBuilderArenaRows(t *testing.T) {
+	bld := NewBuilder(4)
+	bld.AddConflict(0, 1)
+	bld.AddConflict(0, 2)
+	bld.AddConflict(1, 2)
+	g := bld.Build(nil)
+	before := append([]int32(nil), g.ConflictNeighbors(1)...)
+	if !g.AddConflict(0, 3) {
+		t.Fatal("shim insert rejected")
+	}
+	if got := g.ConflictNeighbors(1); !reflect.DeepEqual(got, before) {
+		t.Fatalf("neighbor row of 1 changed by insert at 0: %v -> %v", before, got)
+	}
+	if want := []int32{1, 2, 3}; !reflect.DeepEqual(g.ConflictNeighbors(0), want) {
+		t.Fatalf("row 0 = %v, want %v", g.ConflictNeighbors(0), want)
+	}
+}
+
+// TestBuilderScratchArena: building through a scratch arena returns the
+// transient offsets and produces the same graph.
+func TestBuilderScratchArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50
+	conf := randomEdges(rng, n, 200)
+	mk := func(sc Int32Arena) *Graph {
+		b := NewBuilder(n)
+		for _, p := range conf {
+			b.AddConflict(p[0], p[1])
+		}
+		return b.Build(sc)
+	}
+	if !equalGraphs(mk(nil), mk(&countingArena{})) {
+		t.Fatal("scratch-fed build differs from allocating build")
+	}
+	ca := &countingArena{}
+	mk(ca)
+	if ca.got == 0 || ca.got != ca.put {
+		t.Fatalf("arena leases not balanced: %d leased, %d returned", ca.got, ca.put)
+	}
+}
+
+type countingArena struct{ got, put int }
+
+func (c *countingArena) Int32s(n int) []int32 { c.got++; return make([]int32, n) }
+func (c *countingArena) PutInt32s([]int32)    { c.put++ }
+
+// TestComponentsWorkersMatchesSerial forces the lock-free union-find path
+// (n above the parallel threshold) and checks byte-identical output against
+// the serial DFS at several worker counts.
+func TestComponentsWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 1 << 15
+	bld := NewBuilder(n)
+	// Sparse random graph: many components of varied size, plus stitch
+	// edges binding some pairs.
+	pick := func(not int) int {
+		j := rng.Intn(n - 1)
+		if j >= not {
+			j++ // uniform over [0, n) \ {not}: no self loops
+		}
+		return j
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) > 0 {
+			bld.AddConflict(i, pick(i))
+		}
+		if rng.Intn(16) == 0 {
+			bld.AddStitch(i, pick(i))
+		}
+	}
+	g := bld.Build(nil)
+	want := g.Components()
+	for _, workers := range []int{2, 4, 8} {
+		got := g.ComponentsWorkers(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sharded components differ from serial DFS", workers)
+		}
+	}
+}
+
+// BenchmarkDenseHub pins the O(deg²) dense-hub fix: building a graph whose
+// vertex 0 neighbors everyone — with every edge inserted twice, the dedup
+// pressure that made the old linear `contains` scan quadratic — through the
+// mutable path versus the CSR builder. The builder's sort+compact build is
+// near-linear in the edge count; regressions show up as a superlinear gap
+// between the /size=... variants.
+func BenchmarkDenseHub(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run("mutable/size="+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := New(size)
+				for v := 1; v < size; v++ {
+					g.AddConflict(0, v)
+					g.AddConflict(v, 0) // duplicate: dedup probe on the hub row
+				}
+			}
+		})
+		b.Run("builder/size="+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bld := NewBuilder(size)
+				for v := 1; v < size; v++ {
+					bld.AddConflict(0, v)
+					bld.AddConflict(v, 0)
+				}
+				bld.Build(nil)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestVertexCapacityGuards: constructors must reject vertex counts outside
+// the int32 id range before any allocation happens, with a clear diagnosis
+// — the silent-overflow bugfix of the million-feature hardening pass.
+func TestVertexCapacityGuards(t *testing.T) {
+	for _, n := range []int{-1, MaxVertices + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBuilder(%d) did not panic", n)
+				}
+			}()
+			NewBuilder(n)
+		}()
+	}
+}

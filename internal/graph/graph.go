@@ -14,22 +14,37 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
 // Graph is the decomposition graph. Vertices are dense integers [0, N).
-// Adjacency lists are kept deduplicated and loop-free.
+// Adjacency lists are kept deduplicated, loop-free, and sorted ascending —
+// the sort order is what lets edge membership tests run in O(log deg) and
+// what makes the graph a pure function of its edge set (insertion order
+// never shows through), the determinism contract the golden suites pin.
+//
+// Bulk construction goes through Builder (csr.go), which lays each edge
+// kind out in one contiguous int32 arena and points these adjacency headers
+// into it. The Add* methods below remain the mutable shim on top: on an
+// arena-built graph an insert reallocates just the affected row (the views
+// are full-capacity subslices), leaving the arena and every other row
+// untouched.
 type Graph struct {
-	n      int
-	conf   [][]int32
-	stit   [][]int32
-	friend [][]int32
-	nConf  int
-	nStit  int
+	n       int
+	conf    [][]int32
+	stit    [][]int32
+	friend  [][]int32
+	nConf   int
+	nStit   int
+	nFriend int
 }
 
 // New returns a graph with n isolated vertices.
 func New(n int) *Graph {
+	if n < 0 || n > MaxVertices {
+		panic(fmt.Sprintf("graph: vertex count %d outside [0, %d]", n, MaxVertices))
+	}
 	return &Graph{
 		n:      n,
 		conf:   make([][]int32, n),
@@ -47,8 +62,14 @@ func (g *Graph) ConflictEdgeCount() int { return g.nConf }
 // StitchEdgeCount returns |SE|.
 func (g *Graph) StitchEdgeCount() int { return g.nStit }
 
+// FriendEdgeCount returns the number of color-friendly pairs.
+func (g *Graph) FriendEdgeCount() int { return g.nFriend }
+
 // AddVertex appends an isolated vertex and returns its index.
 func (g *Graph) AddVertex() int {
+	if g.n >= MaxVertices {
+		panic(fmt.Sprintf("graph: vertex count would exceed %d", MaxVertices))
+	}
 	g.conf = append(g.conf, nil)
 	g.stit = append(g.stit, nil)
 	g.friend = append(g.friend, nil)
@@ -56,13 +77,16 @@ func (g *Graph) AddVertex() int {
 	return g.n - 1
 }
 
-func contains(adj []int32, v int32) bool {
-	for _, w := range adj {
-		if w == v {
-			return true
-		}
+// sortedInsert puts v into ascending adjacency adj, reporting whether it was
+// absent. Membership is a binary search; the shift is O(deg) but runs only
+// on actual inserts, so repeated duplicate insertions on a hub vertex cost
+// O(log deg) each instead of the old linear contains scan.
+func sortedInsert(adj []int32, v int32) ([]int32, bool) {
+	i, found := slices.BinarySearch(adj, v)
+	if found {
+		return adj, false
 	}
-	return false
+	return slices.Insert(adj, i, v), true
 }
 
 func (g *Graph) check(u, v int) {
@@ -78,11 +102,12 @@ func (g *Graph) check(u, v int) {
 // ignored. It reports whether the edge was new.
 func (g *Graph) AddConflict(u, v int) bool {
 	g.check(u, v)
-	if contains(g.conf[u], int32(v)) {
+	row, fresh := sortedInsert(g.conf[u], int32(v))
+	if !fresh {
 		return false
 	}
-	g.conf[u] = append(g.conf[u], int32(v))
-	g.conf[v] = append(g.conf[v], int32(u))
+	g.conf[u] = row
+	g.conf[v], _ = sortedInsert(g.conf[v], int32(u))
 	g.nConf++
 	return true
 }
@@ -90,11 +115,12 @@ func (g *Graph) AddConflict(u, v int) bool {
 // AddStitch inserts an undirected stitch edge; duplicates are ignored.
 func (g *Graph) AddStitch(u, v int) bool {
 	g.check(u, v)
-	if contains(g.stit[u], int32(v)) {
+	row, fresh := sortedInsert(g.stit[u], int32(v))
+	if !fresh {
 		return false
 	}
-	g.stit[u] = append(g.stit[u], int32(v))
-	g.stit[v] = append(g.stit[v], int32(u))
+	g.stit[u] = row
+	g.stit[v], _ = sortedInsert(g.stit[v], int32(u))
 	g.nStit++
 	return true
 }
@@ -102,11 +128,13 @@ func (g *Graph) AddStitch(u, v int) bool {
 // AddFriend inserts an undirected color-friendly edge; duplicates ignored.
 func (g *Graph) AddFriend(u, v int) bool {
 	g.check(u, v)
-	if contains(g.friend[u], int32(v)) {
+	row, fresh := sortedInsert(g.friend[u], int32(v))
+	if !fresh {
 		return false
 	}
-	g.friend[u] = append(g.friend[u], int32(v))
-	g.friend[v] = append(g.friend[v], int32(u))
+	g.friend[u] = row
+	g.friend[v], _ = sortedInsert(g.friend[v], int32(u))
+	g.nFriend++
 	return true
 }
 
@@ -115,7 +143,8 @@ func (g *Graph) HasConflict(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
 	}
-	return contains(g.conf[u], int32(v))
+	_, found := slices.BinarySearch(g.conf[u], int32(v))
+	return found
 }
 
 // HasStitch reports whether {u,v} is a stitch edge.
@@ -123,7 +152,8 @@ func (g *Graph) HasStitch(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
 	}
-	return contains(g.stit[u], int32(v))
+	_, found := slices.BinarySearch(g.stit[u], int32(v))
+	return found
 }
 
 // ConflictDegree returns dconf(v), the number of conflict edges at v.
@@ -253,12 +283,13 @@ func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		n:      g.n,
-		conf:   make([][]int32, g.n),
-		stit:   make([][]int32, g.n),
-		friend: make([][]int32, g.n),
-		nConf:  g.nConf,
-		nStit:  g.nStit,
+		n:       g.n,
+		conf:    make([][]int32, g.n),
+		stit:    make([][]int32, g.n),
+		friend:  make([][]int32, g.n),
+		nConf:   g.nConf,
+		nStit:   g.nStit,
+		nFriend: g.nFriend,
 	}
 	for i := 0; i < g.n; i++ {
 		c.conf[i] = append([]int32(nil), g.conf[i]...)

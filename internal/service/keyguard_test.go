@@ -1,0 +1,149 @@
+package service
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mpl/internal/coloring"
+	"mpl/internal/core"
+	"mpl/internal/division"
+	"mpl/internal/portfolio"
+)
+
+// keyFields records, per option struct, every field the canonical cache-key
+// encoder has consciously dealt with — either encoded (true) or deliberately
+// key-neutral (false, with the reason in hash.go). When an option struct
+// gains a field, TestOptionsKeyCoversEveryField fails until the field is
+// added here AND to the encoder (or documented as neutral): the failure mode
+// this guards against is a new field silently not participating in keys —
+// wrong cache hits — or, under the old %#v scheme, a pointer/func field
+// making keys address-dependent.
+var keyFields = map[reflect.Type]map[string]bool{
+	reflect.TypeOf(core.Options{}): {
+		"K": true, "Algorithm": true, "Engine": true, "Portfolio": true,
+		"RaceBudget": true, "Alpha": true, "Threshold": true, "Seed": true,
+		"ILPTimeLimit": true, "BacktrackNodeLimit": true,
+		"SDPRestarts": true, "SDPMaxIter": true, "Memoize": true,
+		"Build": true, "Division": true, "Linear": true,
+	},
+	reflect.TypeOf(core.BuildOptions{}): {
+		"MinS": true, "K": true, "DisableStitches": true,
+		"StitchMinSeg": true, "MaxStitchesPerFeature": true,
+		// Workers never changes the built graph, only wall clock.
+		"Workers": false,
+	},
+	reflect.TypeOf(portfolio.Thresholds{}): {
+		"ILPMaxN": true, "ILPMaxM": true, "BacktrackMaxN": true, "GreedyMaxN": true,
+	},
+	reflect.TypeOf(division.Options{}): {
+		"K": true, "Alpha": true, "DisablePeeling": true,
+		"DisableBiconnected": true, "DisableGHTree": true,
+		"GHTreeMaxN": true, "MaxStitchDegree": true, "Linear": true,
+		// Workers never changes the (deterministic) coloring.
+		"Workers": false,
+	},
+	reflect.TypeOf(coloring.LinearOptions{}): {
+		"K": true, "Alpha": true, "DisableColorFriendly": true,
+		"FriendWeight": true, "MaxStitchDegree": true, "Order": true,
+	},
+}
+
+// TestOptionsKeyCoversEveryField walks every struct participating in cache
+// keys and fails when a field exists that keyFields does not list — the
+// guard that keeps resultKey/graphKey in sync with the option surface.
+func TestOptionsKeyCoversEveryField(t *testing.T) {
+	for typ, known := range keyFields {
+		var missing, stale []string
+		seen := map[string]bool{}
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			seen[name] = true
+			if _, ok := known[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		for name := range known {
+			if !seen[name] {
+				stale = append(stale, name)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(stale)
+		if len(missing) > 0 {
+			t.Errorf("%v gained field(s) %s not consciously added to the cache key: encode them in hash.go (or record them as key-neutral) and extend keyFields",
+				typ, strings.Join(missing, ", "))
+		}
+		if len(stale) > 0 {
+			t.Errorf("%v: keyFields lists removed field(s) %s", typ, strings.Join(stale, ", "))
+		}
+	}
+}
+
+// TestResultKeyDistinguishesOptions: every encoded field must actually
+// reach the key — flip each solve-affecting option and require a distinct
+// key from the baseline.
+func TestResultKeyDistinguishesOptions(t *testing.T) {
+	base := core.Options{K: 4}
+	variants := map[string]core.Options{
+		"k":         {K: 3},
+		"algorithm": {K: 4, Algorithm: core.AlgLinear},
+		"engine":    {K: 4, Engine: core.EngineAuto},
+		"portfolio": {K: 4, Engine: core.EngineAuto, Portfolio: portfolio.Thresholds{ILPMaxN: 9}},
+		"racebudget": {K: 4, Engine: core.EngineRace,
+			RaceBudget: 123 * time.Millisecond},
+		"alpha":     {K: 4, Alpha: 0.25},
+		"threshold": {K: 4, Threshold: 0.5},
+		"seed":      {K: 4, Seed: 9},
+		"memoize":   {K: 4, Memoize: true},
+		"build":     {K: 4, Build: core.BuildOptions{DisableStitches: true}},
+		"division":  {K: 4, Division: division.Options{DisableGHTree: true}},
+		"linear":    {K: 4, Linear: coloring.LinearOptions{DisableColorFriendly: true}},
+	}
+	bk := resultKey("lh", base)
+	for name, o := range variants {
+		if vk := resultKey("lh", o); vk == bk {
+			t.Errorf("option %s does not reach the result key", name)
+		}
+	}
+	// Worker counts are key-neutral by design.
+	w := base
+	w.Division.Workers = 8
+	w.Build.Workers = 8
+	if resultKey("lh", w) != bk {
+		t.Error("worker counts must not affect the result key")
+	}
+	// Default spellings share an entry through normalization.
+	if resultKey("lh", core.Options{}) != bk {
+		t.Error("{} and {K: 4} must normalize to one key")
+	}
+}
+
+// TestGraphKeyDistinguishesBuildOptions mirrors the result-key check for
+// the graph cache.
+func TestGraphKeyDistinguishesBuildOptions(t *testing.T) {
+	base := core.BuildOptions{K: 4}
+	bk := graphKey("lh", base)
+	variants := map[string]core.BuildOptions{
+		"mins":      {K: 4, MinS: 70},
+		"k":         {K: 5},
+		"nostitch":  {K: 4, DisableStitches: true},
+		"minseg":    {K: 4, StitchMinSeg: 33},
+		"maxstitch": {K: 4, MaxStitchesPerFeature: 7},
+	}
+	for name, o := range variants {
+		if vk := graphKey("lh", o); vk == bk {
+			t.Errorf("build option %s does not reach the graph key", name)
+		}
+	}
+	w := base
+	w.Workers = 8
+	if graphKey("lh", w) != bk {
+		t.Error("build workers must not affect the graph key")
+	}
+	if graphKey("lh", base) == resultKey("lh", core.Options{K: 4}) {
+		t.Error("graph and result keys must not collide")
+	}
+}

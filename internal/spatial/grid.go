@@ -11,10 +11,23 @@
 package spatial
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"mpl/internal/geom"
 )
+
+// MaxEntries is the largest number of rectangles one Grid can hold: bucket
+// entries are int32 IDs, so anything past 2^31−1 would silently truncate.
+// Insert enforces it with a diagnosing panic — million-feature layouts stay
+// far below it, but the guard turns a would-be silent wraparound (phantom
+// neighbors, missed conflicts) into an immediate, attributable failure.
+const MaxEntries = math.MaxInt32
+
+// maxEntries is MaxEntries behind a var, so the guard test can lower it to
+// an addressable size instead of allocating 2^31 rectangles.
+var maxEntries = MaxEntries
 
 // stampPool recycles visit-stamp backing arrays across grids and queriers.
 var stampPool = sync.Pool{New: func() any { return new([]int32) }}
@@ -121,8 +134,13 @@ func (g *Grid) cellRange(r geom.Rect) (c0, r0, c1, r1 int) {
 }
 
 // Insert adds a rectangle under the next sequential ID (0, 1, 2, ...) and
-// returns that ID. IDs are dense and stable.
+// returns that ID. IDs are dense and stable. Insert panics with a clear
+// diagnosis when the grid is at MaxEntries — the int32 ID would otherwise
+// wrap silently.
 func (g *Grid) Insert(r geom.Rect) int {
+	if len(g.bounds) >= maxEntries {
+		panic(fmt.Sprintf("spatial: grid full at %d entries; int32 ids cannot address more", maxEntries))
+	}
 	id := int32(len(g.bounds))
 	g.bounds = append(g.bounds, r)
 	g.stamp = append(g.stamp, 0)

@@ -148,3 +148,31 @@ func TestGridExactRadiusBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestInsertCapacityGuard pins the int32-id overflow guard: at the entry
+// limit, Insert must fail loudly instead of wrapping the id silently (which
+// would corrupt bucket contents with phantom small ids). The limit is
+// lowered through the internal maxEntries var — the real one is 2^31−1.
+func TestInsertCapacityGuard(t *testing.T) {
+	defer func(old int) { maxEntries = old }(maxEntries)
+	maxEntries = 3
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}, 10, 4)
+	for i := 0; i < 3; i++ {
+		g.Insert(geom.Rect{X0: i, Y0: 0, X1: i + 1, Y1: 1})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("insert past capacity did not panic")
+		}
+	}()
+	g.Insert(geom.Rect{X0: 50, Y0: 50, X1: 51, Y1: 51})
+}
+
+// TestZeroCapHint: zero-capacity grids stay well-defined.
+func TestZeroCapHint(t *testing.T) {
+	g := NewGrid(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, 5, 0)
+	id := g.Insert(geom.Rect{X0: 1, Y0: 1, X1: 2, Y1: 2})
+	if id != 0 || g.Len() != 1 {
+		t.Fatalf("insert into zero-hint grid: id=%d len=%d", id, g.Len())
+	}
+}
