@@ -27,7 +27,10 @@
 // stitches — so every recorded speedup doubles as an equivalence check.
 // -laydir reads circuits from committed .lay snapshots (benchmarks/)
 // instead of synthesizing them, pinning replays to the exact bytes the
-// golden regression test covers.
+// golden regression test covers. -data-dir additionally write-ahead logs
+// every replayed batch to a durable session store (internal/store, the
+// same layer behind `qpld serve -data-dir`), recording per-batch logging
+// cost and final log size — the price of durability, measured.
 package main
 
 import (
@@ -49,6 +52,7 @@ import (
 	"mpl/internal/pipeline"
 	"mpl/internal/report"
 	"mpl/internal/service"
+	"mpl/internal/store"
 )
 
 // loadLayout resolves a circuit name to a layout: synthesized at -scale by
@@ -78,6 +82,7 @@ func main() {
 	stages := flag.Bool("stages", false, "after each table, print per-stage wall times (simplify/partition/dispatch/stitch/merge) per circuit and engine")
 	memo := flag.Bool("memo", false, "enable canonical-shape memoization (byte-identical results; shape hit/miss counters appear in -stages and -json output)")
 	laydir := flag.String("laydir", "", "read circuits from <dir>/<name>.lay instead of synthesizing them (-scale does not apply)")
+	dataDir := flag.String("data-dir", "", "with -json -edits: write-ahead log every replayed batch to this durable session store (internal/store), recording the per-batch logging cost and the log counters in the trajectory entry")
 	flag.Parse()
 
 	if *laydir != "" {
@@ -98,11 +103,17 @@ func main() {
 			// -json already guarantees, so it passes.)
 			log.Fatal("-json runs circuits strictly sequentially; -batch-workers > 1 does not apply")
 		}
-		runJSON(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *edits, *memo, *jsonOut, *jsonLabel)
+		if *dataDir != "" && *edits == 0 {
+			log.Fatal("-data-dir measures the durable replay; it requires -edits")
+		}
+		runJSON(names, *k, *scale, *seed, *ilpBudget, specs, *workers, *buildWorkers, *edits, *memo, *jsonOut, *jsonLabel, *dataDir)
 		return
 	}
 	if *edits > 0 {
 		log.Fatal("-edits requires -json (the replay is a trajectory recording)")
+	}
+	if *dataDir != "" {
+		log.Fatal("-data-dir requires -json -edits (the durable replay is a trajectory recording)")
 	}
 	switch *ablation {
 	case "":
@@ -393,14 +404,28 @@ func runDivisionAblation(names []string, k int, scale float64, seed int64, worke
 // runJSON records one benchmark-trajectory entry (internal/benchrec): per
 // circuit, a timed graph build plus every requested engine, run strictly
 // sequentially so wall times do not contend with each other. With edits > 0
-// each circuit additionally replays that many ECO batches (first engine).
-func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, edits int, memo bool, outPath, label string) {
+// each circuit additionally replays that many ECO batches (first engine);
+// with dataDir also set, every batch is write-ahead logged to a durable
+// session store the way `qpld serve -data-dir` would log it, so the entry
+// records what durability costs per batch and what the log grew to.
+func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Duration, specs []sweepSpec, workers, buildWorkers, edits int, memo bool, outPath, label, dataDir string) {
 	start := time.Now()
 	if outPath == "auto" {
 		outPath = benchrec.DefaultFilename(start)
 	}
 	if edits > 0 && !specs[0].deterministic() {
 		log.Fatal("-edits replay needs a deterministic engine first in the sweep (its equivalence check cannot cover the wall-clock-budgeted ILP or race modes)")
+	}
+	var st *store.Store
+	if dataDir != "" {
+		// Production fsync discipline: the recorded per-batch cost must be
+		// the one a durable server pays, not a no-sync approximation.
+		var err error
+		st, err = store.Open(dataDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
 	}
 	run := &benchrec.Run{
 		Timestamp:    start.UTC().Format(time.RFC3339),
@@ -441,7 +466,7 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		}
 		if edits > 0 {
 			opts := specs[0].options(k, seed, ilpBudget, workers, buildWorkers, memo)
-			er, err := runEditReplay(name, l, first, opts, specs[0].label, edits)
+			er, err := runEditReplay(name, l, first, opts, specs[0].label, edits, st)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -451,6 +476,11 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 		}
 		run.Circuits = append(run.Circuits, c)
 		fmt.Fprintf(os.Stderr, "done %s (build %.1fms, %d fragments)\n", name, c.BuildMs, c.Fragments)
+	}
+	if st != nil {
+		run.Store = benchrec.StoreStatsOf(st.StatsSnapshot())
+		fmt.Fprintf(os.Stderr, "durable log: %d sessions, %d records, %d bytes\n",
+			run.Store.LiveSessions, run.Store.WALRecords, run.Store.WALBytes)
 	}
 	if err := run.WriteFile(outPath); err != nil {
 		log.Fatal(err)
@@ -462,10 +492,14 @@ func runJSON(names []string, k int, scale float64, seed int64, ilpBudget time.Du
 // runEditReplay chains deterministic random edit batches over one circuit,
 // timing the incremental ApplyEdits path against a full from-scratch
 // re-decomposition of the identical post-edit layout, and fails hard if the
-// two disagree — the recorded speedups double as equivalence evidence.
-func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Options, label string, batches int) (*benchrec.EditReplay, error) {
+// two disagree — the recorded speedups double as equivalence evidence. With
+// st non-nil every batch is additionally write-ahead logged under the same
+// (options signature, layout hash) keys `qpld serve -data-dir` uses, and
+// the logging wall time lands in the batch record.
+func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Options, label string, batches int, st *store.Store) (*benchrec.EditReplay, error) {
 	er := &benchrec.EditReplay{Algorithm: label}
 	rng := rand.New(rand.NewSource(int64(len(name)*7919) + int64(name[0])))
+	sig := service.OptionsSig(opts)
 	curL, curRes := l, start
 	for b := 0; b < batches; b++ {
 		edits := replayBatch(rng, curL)
@@ -474,6 +508,14 @@ func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Optio
 		incMs := benchrec.Ms(time.Since(t0))
 		if err != nil {
 			return nil, fmt.Errorf("%s batch %d: %w", name, b, err)
+		}
+		var durableMs float64
+		if st != nil {
+			t := time.Now()
+			if err := logReplayBatch(st, sig, curL, curRes, newL, incRes, edits); err != nil {
+				return nil, fmt.Errorf("%s batch %d (durable log): %w", name, b, err)
+			}
+			durableMs = benchrec.Ms(time.Since(t))
 		}
 		t1 := time.Now()
 		fullRes, err := mpl.Decompose(newL, opts)
@@ -498,11 +540,45 @@ func runEditReplay(name string, l *mpl.Layout, start *mpl.Result, opts mpl.Optio
 			RebuiltFragments:   es.RebuiltFragments,
 			ResolvedComponents: es.ResolvedComponents,
 			CopiedComponents:   es.CopiedComponents,
+			DurableMs:          durableMs,
 		})
 		curL, curRes = newL, incRes
 	}
 	er.Summarize()
+	if st != nil {
+		// The chain must actually be replayable — a log that recorded every
+		// batch but cannot produce the final session measured nothing.
+		ch, err := st.Lookup(sig, service.LayoutHash(curL))
+		if err != nil || ch == nil {
+			return nil, fmt.Errorf("%s: final session not replayable from the durable log (%v)", name, err)
+		}
+	}
 	return er, nil
+}
+
+// logReplayBatch persists one replayed batch with the write-ahead
+// discipline internal/service uses: root the base with a snapshot if the
+// log has never seen it, append the edit record, and re-root with a
+// successor snapshot when the chain's replay depth hits the snapshot
+// policy.
+func logReplayBatch(st *store.Store, sig string, baseL *mpl.Layout, baseRes *mpl.Result, newL *mpl.Layout, newRes *mpl.Result, edits []mpl.Edit) error {
+	snap := func(l *mpl.Layout, r *mpl.Result) *store.Snapshot {
+		return &store.Snapshot{Layout: l, Colors: r.Colors, Conflicts: r.Conflicts, Stitches: r.Stitches, Proven: r.Proven}
+	}
+	baseHash, newHash := service.LayoutHash(baseL), service.LayoutHash(newL)
+	if !st.Has(sig, baseHash) {
+		if err := st.AppendSnapshot(sig, baseHash, snap(baseL, baseRes)); err != nil {
+			return err
+		}
+	}
+	needSnapshot, err := st.AppendEdits(sig, baseHash, newHash, edits)
+	if err != nil {
+		return err
+	}
+	if needSnapshot {
+		return st.AppendSnapshot(sig, newHash, snap(newL, newRes))
+	}
+	return nil
 }
 
 // replayBatch generates 1–3 ECO-shaped ops: nudge a feature by up to a site

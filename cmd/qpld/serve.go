@@ -18,6 +18,12 @@
 // add/remove/move edits and re-solves only the dirty region
 // (core.ApplyEdits), returning a new layout_hash for further batches.
 //
+// With -data-dir set, sessions are durable (internal/store): edit batches
+// are logged before they are acknowledged, evicted sessions spill to disk,
+// and after a restart an incremental request against a pre-crash hash
+// rehydrates its session from the log instead of answering 404. Without
+// the flag the server is exactly as volatile as before the store existed.
+//
 // The full request/response schema, error codes, and cache semantics are
 // documented in docs/API.md.
 package main
@@ -43,6 +49,7 @@ import (
 	"mpl/internal/geom"
 	"mpl/internal/layout"
 	"mpl/internal/service"
+	"mpl/internal/store"
 )
 
 // rectJSON is [x0, y0, x1, y1] in database units (nm).
@@ -188,13 +195,25 @@ func runServe(args []string) {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline cap")
 	maxBody := fs.Int64("max-body", 64<<20, "maximum request body bytes")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget: how long in-flight requests may finish after SIGINT/SIGTERM before their contexts are cancelled")
+	dataDir := fs.String("data-dir", "", "directory for durable sessions (empty = in-memory only; sessions do not survive restarts)")
 	fs.Parse(args)
 
 	bw := *buildWorkers
 	if bw <= 0 {
 		bw = runtime.GOMAXPROCS(0)
 	}
-	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		ss := st.StatsSnapshot()
+		log.Printf("durable sessions in %s (%d replayable, %d log records; %d torn-tail truncations, %d orphans dropped at recovery)",
+			st.Dir(), ss.LiveSessions, ss.WALRecords, ss.TornTail, ss.Orphans)
+	}
+	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers, Store: st})
 	srv := &server{svc: svc, maxTimeout: *timeout, maxBody: *maxBody, buildWorkers: bw}
 	w := *workers
 	if w <= 0 {
@@ -207,7 +226,14 @@ func runServe(args []string) {
 	log.Printf("serving on %s (cache %d, workers %d, build workers %d, timeout cap %s, drain %s)", ln.Addr(), *cacheSize, w, bw, *timeout, *drain)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := serveUntil(ctx, srv.mux(), ln, *drain); err != nil {
+	err = serveUntil(ctx, srv.mux(), ln, *drain)
+	if st != nil {
+		// Closed only after the drain: in-flight requests may still append.
+		if cerr := st.Close(); cerr != nil {
+			log.Printf("close data dir: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("shut down cleanly")
@@ -611,7 +637,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"calls":   ss.Calls,
 		}
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"cache_hits":         st.Hits,
 		"cache_misses":       st.Misses,
 		"cache_evictions":    st.Evictions,
@@ -619,6 +645,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"graph_hits":         st.GraphHits,
 		"incremental_solves": st.Incremental,
 		"sessions":           st.Sessions,
+		"rehydrations":       st.Rehydrations,
+		"spills":             st.Spills,
+		"store_errors":       st.StoreErrors,
 		"engines":            engines,
 		"stages":             stages,
 		"shapes": map[string]int{
@@ -626,7 +655,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":   st.Shapes.Misses,
 			"distinct": st.Shapes.Distinct,
 		},
-	})
+	}
+	if ss := st.Store; ss != nil {
+		out["store"] = map[string]any{
+			"live_sessions": ss.LiveSessions,
+			"wal_bytes":     ss.WALBytes,
+			"wal_records":   ss.WALRecords,
+			"snapshots":     ss.Snapshots,
+			"edits":         ss.Edits,
+			"compactions":   ss.Compactions,
+			"torn_tail":     ss.TornTail,
+			"orphans":       ss.Orphans,
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,138 @@
+package main
+
+// In-process restart-recovery test of the durable serving path: the same
+// wire traffic tools/restart_smoke.sh drives against a real process, here
+// against two httptest servers sharing one data directory. Server A solves
+// and advances a session; server A "crashes" (its Service and Store are
+// simply dropped, nothing is flushed beyond what the write-ahead discipline
+// already persisted); server B, on a fresh Service over the same directory,
+// must accept an incremental request against the pre-crash hash without the
+// layout ever being re-sent.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpl/internal/service"
+	"mpl/internal/store"
+)
+
+// durableServer builds a serve mux whose service persists to dir, as if
+// started with -data-dir dir.
+func durableServer(t *testing.T, dir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := &server{
+		svc:        service.New(service.Config{CacheSize: 32, Store: st}),
+		maxTimeout: 10 * time.Second,
+		maxBody:    1 << 20,
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func TestServeDurableRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// Server A: open a session and advance it one batch.
+	tsA, stA := durableServer(t, dir)
+	var full decomposeResponse
+	if resp := postJSON(t, tsA.URL+"/v1/decompose", rowRequest("row", 8), &full); resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompose: status %d", resp.StatusCode)
+	}
+	inc := incrementalRequest{
+		Base: full.LayoutHash, K: 4, Algorithm: "sdp-backtrack",
+		Edits: []editJSON{{Op: "remove", Feature: 7}},
+	}
+	var preCrash decomposeResponse
+	if resp := postJSON(t, tsA.URL+"/v1/decompose/incremental", inc, &preCrash); resp.StatusCode != http.StatusOK {
+		t.Fatalf("incremental: status %d: %+v", resp.StatusCode, preCrash)
+	}
+
+	// "Crash" server A. The edit batch was logged before it was answered,
+	// so everything needed to continue the session is already on disk.
+	tsA.Close()
+	if err := stA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server B on the same directory: chain a further batch from the
+	// pre-crash hash. The layout is never re-sent — the session must come
+	// from the log.
+	tsB, _ := durableServer(t, dir)
+	inc2 := incrementalRequest{
+		Base: preCrash.LayoutHash, K: 4, Algorithm: "sdp-backtrack",
+		Edits: []editJSON{{Op: "move", Feature: 0, DX: 25}},
+	}
+	var postCrash decomposeResponse
+	resp := postJSON(t, tsB.URL+"/v1/decompose/incremental", inc2, &postCrash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart incremental: status %d: %+v", resp.StatusCode, postCrash)
+	}
+	if postCrash.LayoutHash == "" || postCrash.LayoutHash == preCrash.LayoutHash {
+		t.Fatalf("post-restart hash %q must identify the post-edit state", postCrash.LayoutHash)
+	}
+	if postCrash.Incremental == nil {
+		t.Fatalf("post-restart batch must be a fresh incremental solve: %+v", postCrash)
+	}
+
+	// /v1/stats must surface the durable counters: the rehydration that
+	// served inc2, and the store's own log statistics.
+	hr, err := http.Get(tsB.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var stats struct {
+		Rehydrations uint64         `json:"rehydrations"`
+		Spills       uint64         `json:"spills"`
+		StoreErrors  uint64         `json:"store_errors"`
+		Store        map[string]any `json:"store"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rehydrations == 0 {
+		t.Fatalf("stats report no rehydration after restart recovery: %+v", stats)
+	}
+	if stats.StoreErrors != 0 {
+		t.Fatalf("restart recovery tripped store errors: %+v", stats)
+	}
+	if stats.Store == nil {
+		t.Fatal("stats carry no store block despite -data-dir serving")
+	}
+	if n, ok := stats.Store["live_sessions"].(float64); !ok || n < 1 {
+		t.Fatalf("store.live_sessions = %v, want >= 1", stats.Store["live_sessions"])
+	}
+}
+
+// TestServeStatsNoStoreBlock: without -data-dir, /v1/stats must not grow a
+// store block — the volatile wire format is unchanged.
+func TestServeStatsNoStoreBlock(t *testing.T) {
+	ts := testServer(t)
+	hr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["store"]; ok {
+		t.Fatal("volatile server reports a store block in /v1/stats")
+	}
+	for _, k := range []string{"rehydrations", "spills", "store_errors"} {
+		if v, ok := raw[k].(float64); !ok || v != 0 {
+			t.Fatalf("%s = %v, want 0", k, raw[k])
+		}
+	}
+}

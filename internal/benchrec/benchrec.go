@@ -15,6 +15,7 @@ import (
 
 	"mpl/internal/core"
 	"mpl/internal/pipeline"
+	"mpl/internal/store"
 )
 
 // Run is one recorded benchmark run: the environment it ran in plus one
@@ -45,6 +46,39 @@ type Run struct {
 	Memoize bool `json:"memoize,omitempty"`
 
 	Circuits []Circuit `json:"circuits"`
+
+	// Store carries the durable session store's counters after the run
+	// (`cmd/evaluate -data-dir`: every replayed edit batch is write-ahead
+	// logged, so the trajectory records the WAL cost of durability next to
+	// the replay latencies it taxed). Absent for volatile runs.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the trajectory form of internal/store's counters.
+type StoreStats struct {
+	LiveSessions int    `json:"live_sessions"`
+	WALBytes     int64  `json:"wal_bytes"`
+	WALRecords   int    `json:"wal_records"`
+	Snapshots    uint64 `json:"snapshots"`
+	Edits        uint64 `json:"edits"`
+	Compactions  uint64 `json:"compactions"`
+	TornTail     uint64 `json:"torn_tail,omitempty"`
+	Orphans      uint64 `json:"orphans,omitempty"`
+}
+
+// StoreStatsOf converts a store's counters to the trajectory schema — the
+// single conversion point, like CircuitOf, so writers cannot drift.
+func StoreStatsOf(s store.Stats) *StoreStats {
+	return &StoreStats{
+		LiveSessions: s.LiveSessions,
+		WALBytes:     s.WALBytes,
+		WALRecords:   s.WALRecords,
+		Snapshots:    s.Snapshots,
+		Edits:        s.Edits,
+		Compactions:  s.Compactions,
+		TornTail:     s.TornTail,
+		Orphans:      s.Orphans,
+	}
 }
 
 // Circuit is one benchmark circuit's build stats and per-engine results.
@@ -78,6 +112,11 @@ type EditBatch struct {
 	RebuiltFragments   int     `json:"rebuilt_fragments"`
 	ResolvedComponents int     `json:"resolved_components"`
 	CopiedComponents   int     `json:"copied_components"`
+	// DurableMs is the time spent write-ahead logging this batch to the
+	// durable session store (`cmd/evaluate -data-dir`; absent when the
+	// replay was volatile). Comparing it with IncrementalMs answers "what
+	// does durability cost per ECO batch".
+	DurableMs float64 `json:"durable_ms,omitempty"`
 }
 
 // EditReplay is one circuit's replay series. The replay engine must be

@@ -1,0 +1,164 @@
+package core
+
+// The wire codec for ECO edit batches (DESIGN.md §13): a compact varint
+// encoding used by the durable session store (internal/store) to persist
+// the edit log and replay it through ApplyEdits after a restart. The codec
+// is lossless — DecodeEdits(EncodeEdits(nil, batch)) returns the batch
+// byte-for-byte — and decode never panics on arbitrary input, because the
+// write-ahead log it frames may hand it torn or corrupted payloads whose
+// CRC happened to survive (FuzzEditCodec drives both properties, seeded by
+// the same 5-byte fuzz decoder that hardened ApplyEdits itself).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpl/internal/geom"
+)
+
+// maxDecodedEdits bounds one decoded batch against corrupt length prefixes:
+// a batch is an interactive ECO step, not a bulk import, so anything past
+// this is corruption, not workload.
+const maxDecodedEdits = 1 << 20
+
+// maxDecodedRects bounds one added feature's rectangle count, mirroring the
+// uint16 rect-count bound of the binary layout format.
+const maxDecodedRects = 1 << 16
+
+// EncodeEdits appends the canonical binary encoding of an edit batch to buf
+// and returns the extended slice. The encoding is deterministic (a pure
+// function of the batch) so persisted logs replay and hash identically.
+func EncodeEdits(buf []byte, edits []Edit) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(edits)))
+	for _, e := range edits {
+		buf = append(buf, byte(e.Op))
+		switch e.Op {
+		case EditAdd:
+			buf = binary.AppendUvarint(buf, uint64(len(e.Shape.Rects)))
+			for _, r := range e.Shape.Rects {
+				buf = binary.AppendVarint(buf, int64(r.X0))
+				buf = binary.AppendVarint(buf, int64(r.Y0))
+				buf = binary.AppendVarint(buf, int64(r.X1))
+				buf = binary.AppendVarint(buf, int64(r.Y1))
+			}
+		case EditRemove:
+			buf = binary.AppendVarint(buf, int64(e.Feature))
+		case EditMove:
+			buf = binary.AppendVarint(buf, int64(e.Feature))
+			buf = binary.AppendVarint(buf, int64(e.DX))
+			buf = binary.AppendVarint(buf, int64(e.DY))
+		}
+	}
+	return buf
+}
+
+// editDecoder tracks one DecodeEdits pass; its methods return zero values
+// after the first error so call sites stay linear.
+type editDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *editDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.err = fmt.Errorf("core: edit codec: truncated %s", what)
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *editDecoder) varint(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.err = fmt.Errorf("core: edit codec: truncated %s", what)
+		return 0
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		// Coordinates and feature indices are int32-scale everywhere else
+		// (layout binary format, CSR ids); larger values are corruption.
+		d.err = fmt.Errorf("core: edit codec: %s %d out of range", what, v)
+		return 0
+	}
+	d.data = d.data[n:]
+	return int(v)
+}
+
+// DecodeEdits parses an EncodeEdits payload back into the edit batch. It
+// rejects trailing bytes, truncated fields, out-of-range values, and
+// implausible counts — a corrupt log record must fail loudly here, never
+// replay as a different batch.
+func DecodeEdits(data []byte) ([]Edit, error) {
+	d := &editDecoder{data: data}
+	n := d.uvarint("batch length")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxDecodedEdits {
+		return nil, fmt.Errorf("core: edit codec: implausible batch length %d", n)
+	}
+	// Grow incrementally past a modest pre-allocation: a corrupt length
+	// prefix under the plausibility bound must not become an alloc bomb.
+	capHint := n
+	if capHint > 256 {
+		capHint = 256
+	}
+	edits := make([]Edit, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		if d.err == nil && len(d.data) == 0 {
+			d.err = fmt.Errorf("core: edit codec: truncated batch (%d of %d edits)", i, n)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		op := EditOp(d.data[0])
+		d.data = d.data[1:]
+		switch op {
+		case EditAdd:
+			nr := d.uvarint("rect count")
+			if d.err == nil && nr > maxDecodedRects {
+				d.err = fmt.Errorf("core: edit codec: implausible rect count %d", nr)
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			rectHint := nr
+			if rectHint > 256 {
+				rectHint = 256
+			}
+			rects := make([]geom.Rect, 0, rectHint)
+			for r := uint64(0); r < nr; r++ {
+				x0 := d.varint("rect x0")
+				y0 := d.varint("rect y0")
+				x1 := d.varint("rect x1")
+				y1 := d.varint("rect y1")
+				rects = append(rects, geom.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1})
+			}
+			edits = append(edits, Edit{Op: EditAdd, Shape: geom.Polygon{Rects: rects}})
+		case EditRemove:
+			edits = append(edits, Edit{Op: EditRemove, Feature: d.varint("feature index")})
+		case EditMove:
+			f := d.varint("feature index")
+			dx := d.varint("dx")
+			dy := d.varint("dy")
+			edits = append(edits, Edit{Op: EditMove, Feature: f, DX: dx, DY: dy})
+		default:
+			return nil, fmt.Errorf("core: edit codec: unknown op %d", op)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("core: edit codec: %d trailing bytes", len(d.data))
+	}
+	return edits, nil
+}

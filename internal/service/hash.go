@@ -115,16 +115,33 @@ func (e *keyEnc) encodeLinear(prefix string, lo coloring.LinearOptions) {
 	e.int(prefix+"order", int(lo.Order))
 }
 
+// optionsSig is the canonical encoding of every solve-affecting option —
+// the options half of a resultKey, and the signature the durable session
+// store (internal/store) keys sessions under. Two requests with the same
+// signature are solve-equivalent: core.ApplyEdits accepts a persisted
+// result recorded under one as the base for the other, because the only
+// fields the signature omits are the result-neutral worker counts, which
+// ApplyEdits also ignores.
+func optionsSig(opts core.Options) string {
+	opts = opts.Normalize()
+	var e keyEnc
+	e.encodeOptions(opts)
+	return e.b.String()
+}
+
+// OptionsSig exposes the durable session signature to other writers of the
+// session store (cmd/evaluate's durable replay): records they file under
+// OptionsSig(opts) are the ones a Service configured with the same store
+// will find.
+func OptionsSig(opts core.Options) string { return optionsSig(opts) }
+
 // resultKey keys the result cache: layout geometry plus every solve-affecting
 // option. Options are normalized first so default spellings ({} vs {K: 4})
 // share an entry, and the Division and Build worker counts never participate
 // because worker count never changes the (deterministic) result, only how
 // fast it arrives.
 func resultKey(layoutHash string, opts core.Options) string {
-	opts = opts.Normalize()
-	var e keyEnc
-	e.encodeOptions(opts)
-	return layoutHash + e.b.String()
+	return layoutHash + optionsSig(opts)
 }
 
 // graphKey keys the decomposition-graph cache: layout geometry plus the

@@ -31,6 +31,7 @@ import (
 	"mpl/internal/geom"
 	"mpl/internal/layout"
 	"mpl/internal/pipeline"
+	"mpl/internal/store"
 )
 
 // ErrNoSession is returned by DecomposeIncremental when the base layout
@@ -49,6 +50,14 @@ type Config struct {
 	// DefaultTimeout, when positive, bounds each decomposition that arrives
 	// with a context carrying no earlier deadline.
 	DefaultTimeout time.Duration
+	// Store, when non-nil, makes sessions durable (DESIGN.md §13): edit
+	// batches are logged before the successor session is registered, a
+	// session evicted from the LRU is spilled to disk instead of dropped,
+	// and a session miss rehydrates from the nearest persisted snapshot by
+	// replaying the log tail through core.ApplyEdits. Nil (the zero value)
+	// keeps sessions purely in-memory. The caller owns the Store's
+	// lifecycle and must not Close it while the Service is in use.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +79,18 @@ type Stats struct {
 	Incremental uint64 // incremental (ApplyEdits) solves actually executed
 	Size        int    // current result-cache entry count
 	Sessions    int    // current session-store entry count
+	// Rehydrations counts sessions reconstructed from the durable store
+	// (nearest snapshot plus log-tail replay); Spills counts sessions
+	// written to the durable store on LRU eviction; StoreErrors counts
+	// durable-store operations that failed — the request itself still
+	// succeeded, but durability of the affected session is degraded until
+	// a later spill or snapshot lands. All zero without Config.Store.
+	Rehydrations uint64
+	Spills       uint64
+	StoreErrors  uint64
+	// Store carries the durable session store's own counters (log size,
+	// compactions, recovery events); nil without Config.Store.
+	Store *store.Stats
 	// Engines accumulates the per-engine dispatch histograms of every solve
 	// this service executed (cache hits add nothing — no piece was solved):
 	// engine name → pieces colored. Fixed-engine requests land in one
@@ -104,11 +125,16 @@ type Service struct {
 }
 
 // session is one servable decomposition state: the layout geometry and the
-// full-quality result computed for it under one options key. Both fields
+// full-quality result computed for it under one options key. All fields
 // are immutable after the session is stored — DecomposeIncremental derives
 // new sessions instead of updating old ones, so readers never see torn
-// state and conflicting edit batches cannot race.
+// state and conflicting edit batches cannot race. hash and sig are the
+// components of the session's cache key (LayoutHash of layout, optionsSig
+// of the options that produced res), kept so the durable store can spill
+// and chain sessions without re-deriving either.
 type session struct {
+	hash   string
+	sig    string
 	layout *layout.Layout
 	res    *core.Result
 }
@@ -169,7 +195,8 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 		}
 	}
 	lh := LayoutHash(l)
-	key := resultKey(lh, opts)
+	sig := optionsSig(opts)
+	key := lh + sig
 
 	var e *entry
 	for e == nil {
@@ -189,14 +216,18 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 				// solve. Answer degraded ourselves — the same contract the
 				// owner path honors — instead of turning a cache-key
 				// collision into an error. The result is uncacheable by
-				// construction, so it bypasses the entry bookkeeping.
+				// construction, so it bypasses the entry bookkeeping, and
+				// the optimistic Hits tally above is re-tallied as the
+				// miss this turned out to be.
 				res, err := s.solve(ctx, lh, l, opts)
+				s.mu.Lock()
+				s.stats.Hits--
+				s.stats.Misses++
+				s.recordEngines(res)
+				s.mu.Unlock()
 				if err != nil {
 					return nil, "", false, err
 				}
-				s.mu.Lock()
-				s.recordEngines(res)
-				s.mu.Unlock()
 				return res, lh, false, nil
 			}
 			// A healthy completed solve is shareable. A degraded or failed
@@ -210,10 +241,16 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 				// session is "re-send the full layout", and that recovery
 				// must work even when it lands here instead of on a solve.
 				if !sessOK {
-					s.ensureSession(key, l, shared.res)
+					s.ensureSession(lh, sig, l, shared.res)
 				}
 				return copyResult(shared.res), lh, true, nil
 			}
+			// The wait produced nothing servable: take back the optimistic
+			// Hits tally. The retry iteration re-counts whatever actually
+			// happens (a hit on a newer entry, or an owned miss).
+			s.mu.Lock()
+			s.stats.Hits--
+			s.mu.Unlock()
 			continue
 		}
 		e = &entry{ready: make(chan struct{})}
@@ -223,7 +260,14 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 		s.mu.Unlock()
 	}
 
-	e.res, e.err = s.solve(ctx, lh, l, opts)
+	// A restart may have left this very solve on disk: a durable snapshot
+	// of the requested hash with no replay tail reconstructs the result
+	// (graph build + verification) without re-running the solve.
+	if res := s.fullFromStore(lh, sig, opts); res != nil {
+		e.res = res
+	} else {
+		e.res, e.err = s.solve(ctx, lh, l, opts)
+	}
 	// Degraded or failed solves are not worth caching: a later caller with
 	// a healthy deadline deserves a full-quality run. removeIf guards
 	// against deleting a newer entry that replaced ours after an eviction.
@@ -234,8 +278,9 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 	// the two in sync.)
 	var sess *session
 	if e.err == nil && e.res.Degraded == 0 {
-		sess = &session{layout: snapshotLayout(l), res: e.res}
+		sess = &session{hash: lh, sig: sig, layout: snapshotLayout(l), res: e.res}
 	}
+	var evicted []lruItem
 	s.mu.Lock()
 	if e.err == nil {
 		s.recordEngines(e.res)
@@ -243,12 +288,13 @@ func (s *Service) DecomposeHashed(ctx context.Context, l *layout.Layout, opts co
 	if sess == nil {
 		s.results.removeIf(key, e)
 	} else {
-		s.sessions.put(key, sess, nil)
+		evicted = s.sessions.put(key, sess, nil)
 		s.stats.Sessions = s.sessions.len()
 	}
 	s.stats.Size = s.results.len()
 	s.mu.Unlock()
 	close(e.ready)
+	s.spillEvicted(evicted)
 	if e.err != nil {
 		return nil, "", false, e.err
 	}
@@ -292,39 +338,64 @@ func (s *Service) recordBuild(st core.BuildStats) {
 // session entry may have been LRU-evicted independently. The (pure,
 // O(features)) snapshot is taken outside the lock and only when actually
 // needed.
-func (s *Service) ensureSession(key string, l *layout.Layout, res *core.Result) {
+func (s *Service) ensureSession(lh, sig string, l *layout.Layout, res *core.Result) {
+	key := lh + sig
 	s.mu.Lock()
 	_, ok := s.sessions.get(key) // present: just bumped its recency
 	s.mu.Unlock()
 	if ok {
 		return
 	}
-	sess := &session{layout: snapshotLayout(l), res: res}
+	sess := &session{hash: lh, sig: sig, layout: snapshotLayout(l), res: res}
+	var evicted []lruItem
 	s.mu.Lock()
 	if _, ok := s.sessions.get(key); !ok {
-		s.sessions.put(key, sess, nil)
+		evicted = s.sessions.put(key, sess, nil)
 		s.stats.Sessions = s.sessions.len()
 	}
 	s.mu.Unlock()
+	s.spillEvicted(evicted)
+}
+
+// fallbackLaneWait bounds how long an expired request may queue for the
+// fallback lane. Every fallback solve is milliseconds-scale linear work, so
+// a lane that stays full this long is saturated and the request is better
+// failed than parked: its own context is already dead, and unbounded
+// parking here would pin handler goroutines past serve's drain budget.
+// A variable only so the saturation regression test can shorten it.
+var fallbackLaneWait = 2 * time.Second
+
+// acquireLane claims a solve slot: a full-quality slot while the context
+// is alive, else the bounded fallback lane (under a cancelled context the
+// pipeline takes the cheap linear-fallback path, so the caller still
+// receives a valid degraded coloring instead of an error — but through a
+// separate bounded semaphore, so an overload burst of expired requests
+// cannot run unbounded graph builds). release is non-nil exactly when err
+// is nil.
+func (s *Service) acquireLane(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+	}
+	t := time.NewTimer(fallbackLaneWait)
+	defer t.Stop()
+	select {
+	case s.fbSem <- struct{}{}:
+		return func() { <-s.fbSem }, nil
+	case <-t.C:
+		return nil, fmt.Errorf("service: fallback lane saturated after %v: %w", fallbackLaneWait, ctx.Err())
+	}
 }
 
 // solve acquires a concurrency slot, builds (or reuses) the decomposition
 // graph, and colors it.
 func (s *Service) solve(ctx context.Context, lh string, l *layout.Layout, opts core.Options) (*core.Result, error) {
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		// The deadline expired while queued for a full-quality slot. Under
-		// a cancelled context the pipeline takes the cheap linear-fallback
-		// path, so the caller still receives a valid degraded coloring
-		// instead of an error — but through a separate bounded semaphore,
-		// so an overload burst of expired requests cannot run unbounded
-		// graph builds. The wait here is short: every fallback solve ahead
-		// of us is milliseconds-scale.
-		s.fbSem <- struct{}{}
-		defer func() { <-s.fbSem }()
+	release, err := s.acquireLane(ctx)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 
 	dg, err := s.graphFor(lh, l, opts)
 	if err != nil {
@@ -359,6 +430,13 @@ func (s *Service) graphFor(lh string, l *layout.Layout, opts core.Options) (*cor
 			if ge.err == nil {
 				return ge.g, nil
 			}
+			// The in-flight build failed: no build was avoided after all,
+			// so take back the optimistic GraphHits tally before retrying
+			// (the retry either hits a real entry or builds — and counts —
+			// fresh).
+			s.mu.Lock()
+			s.stats.GraphHits--
+			s.mu.Unlock()
 			continue // owner removed the failed entry; retry (or own) fresh
 		}
 		ge := &graphEntry{ready: make(chan struct{})}
@@ -403,13 +481,25 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 			defer cancel()
 		}
 	}
+	sig := optionsSig(opts)
 	s.mu.Lock()
-	v, ok := s.sessions.get(resultKey(baseHash, opts))
+	v, ok := s.sessions.get(baseHash + sig)
 	s.mu.Unlock()
-	if !ok {
-		return nil, "", nil, false, fmt.Errorf("%w: %.16s…", ErrNoSession, baseHash)
+	var sess *session
+	if ok {
+		sess = v.(*session)
+	} else {
+		// The in-memory store lost the session (evicted, or a restart) —
+		// rehydrate it from the durable log before giving up. Only when
+		// the disk has nothing either is it truly no session.
+		var err error
+		if sess, err = s.rehydrate(ctx, baseHash, sig, opts); err != nil {
+			return nil, "", nil, false, err
+		}
+		if sess == nil {
+			return nil, "", nil, false, fmt.Errorf("%w: %.16s…", ErrNoSession, baseHash)
+		}
 	}
-	sess := v.(*session)
 
 	// Hash the post-edit geometry up front: the result cache and
 	// single-flight machinery then work exactly as for full solves.
@@ -418,7 +508,7 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 		return nil, "", nil, false, err
 	}
 	newHash = LayoutHash(newL)
-	key := resultKey(newHash, opts)
+	key := newHash + sig
 
 	// NOTE: this single-flight loop is the deliberate twin of the one in
 	// DecomposeHashed — entry lifecycle, degraded-entry retry, session
@@ -437,24 +527,33 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 			case <-ctx.Done():
 				// Deadline expired while waiting on someone else's solve:
 				// answer degraded under our own context, uncached, like
-				// Decompose does.
+				// Decompose does — and re-tally the optimistic Hits count
+				// as the miss this turned out to be.
 				_, res, estats, err := s.applyEdits(ctx, sess, edits, opts)
+				s.mu.Lock()
+				s.stats.Hits--
+				s.stats.Misses++
+				s.recordEngines(res)
+				s.mu.Unlock()
 				if err != nil {
 					return nil, "", nil, false, err
 				}
-				s.mu.Lock()
-				s.recordEngines(res)
-				s.mu.Unlock()
 				return res, newHash, estats, false, nil
 			}
 			if shared.err == nil && shared.res.Degraded == 0 {
 				// The successor session may have been evicted while its
 				// result stayed cached; chaining from newHash must work.
 				if !sessOK {
-					s.ensureSession(key, newL, shared.res)
+					s.ensureSession(newHash, sig, newL, shared.res)
 				}
 				return copyResult(shared.res), newHash, nil, true, nil
 			}
+			// Nothing servable came of the wait: take back the optimistic
+			// Hits tally before retrying (the twin loop in DecomposeHashed
+			// does the same).
+			s.mu.Lock()
+			s.stats.Hits--
+			s.mu.Unlock()
 			continue
 		}
 		e = &entry{ready: make(chan struct{})}
@@ -466,19 +565,31 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 
 	var resL *layout.Layout
 	resL, e.res, estats, e.err = s.applyEdits(ctx, sess, edits, opts)
+	// A healthy successor is persisted to the durable log BEFORE it is
+	// registered in memory (write-ahead discipline: once a client can chain
+	// from newHash, a crash must not lose the state it chains from). The
+	// layout snapshot mirrors the Decompose path — sessions are immutable
+	// once stored, whichever loop stored them.
+	var succ *session
+	if e.err == nil && e.res.Degraded == 0 {
+		succ = &session{hash: newHash, sig: sig, layout: snapshotLayout(resL), res: e.res}
+		s.persistEdits(sess, succ, edits)
+	}
+	var evicted []lruItem
 	s.mu.Lock()
 	if e.err == nil {
 		s.recordEngines(e.res)
 	}
-	if e.err != nil || e.res.Degraded > 0 {
+	if succ == nil {
 		s.results.removeIf(key, e)
 	} else {
-		s.sessions.put(key, &session{layout: resL, res: e.res}, nil)
+		evicted = s.sessions.put(key, succ, nil)
 		s.stats.Sessions = s.sessions.len()
 	}
 	s.stats.Size = s.results.len()
 	s.mu.Unlock()
 	close(e.ready)
+	s.spillEvicted(evicted)
 	if e.err != nil {
 		return nil, "", nil, false, e.err
 	}
@@ -489,13 +600,11 @@ func (s *Service) DecomposeIncremental(ctx context.Context, baseHash string, edi
 // solve: a full-quality slot when the deadline is alive, the bounded
 // fallback lane when it expired while queued.
 func (s *Service) applyEdits(ctx context.Context, sess *session, edits []core.Edit, opts core.Options) (*layout.Layout, *core.Result, *core.EditStats, error) {
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.fbSem <- struct{}{}
-		defer func() { <-s.fbSem }()
+	release, err := s.acquireLane(ctx)
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	defer release()
 	s.mu.Lock()
 	s.stats.Incremental++
 	s.mu.Unlock()
@@ -516,6 +625,10 @@ func (s *Service) StatsSnapshot() Stats {
 		}
 	}
 	st.Stages = pipeline.MergeStages(nil, s.stats.Stages)
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.StatsSnapshot()
+		st.Store = &ss
+	}
 	return st
 }
 
@@ -621,24 +734,30 @@ func (c *lru) get(key string) (any, bool) {
 	return el.Value.(*lruItem).val, true
 }
 
-func (c *lru) put(key string, val any, evictions *uint64) {
+// put inserts or refreshes key and returns the items the capacity bound
+// pushed out (usually none) so the caller can dispose of them outside the
+// lock — the session store spills evicted sessions to disk.
+func (c *lru) put(key string, val any, evictions *uint64) (evicted []lruItem) {
 	if c.cap < 0 {
-		return
+		return nil
 	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruItem).val = val
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruItem).key)
+		it := oldest.Value.(*lruItem)
+		delete(c.items, it.key)
+		evicted = append(evicted, *it)
 		if evictions != nil {
 			*evictions++
 		}
 	}
+	return evicted
 }
 
 // removeIf deletes key only while it still maps to val: after an LRU

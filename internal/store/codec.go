@@ -1,0 +1,251 @@
+package store
+
+// Payload encodings for the two record kinds. Every payload opens with its
+// key strings (length-prefixed), so recovery can rebuild the index without
+// decoding geometry; the heavyweight parts (binary layout, colors) decode
+// lazily at Lookup time. Integrity is the frame CRC's job — these decoders
+// only need to fail cleanly on payloads whose corruption the CRC happened
+// to miss or that a newer writer produced.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"mpl/internal/core"
+	"mpl/internal/layout"
+)
+
+// maxKeyLen bounds one key string (an options signature or a layout hash);
+// real signatures are a few hundred bytes, hashes 64.
+const maxKeyLen = 1 << 12
+
+// payloadReader is a cursor over one record payload with error latching.
+type payloadReader struct {
+	data []byte
+	err  error
+}
+
+func (p *payloadReader) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("store: "+format, args...)
+	}
+}
+
+func (p *payloadReader) str(what string) string {
+	if p.err != nil {
+		return ""
+	}
+	if len(p.data) < 2 {
+		p.fail("truncated %s length", what)
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(p.data))
+	p.data = p.data[2:]
+	if n > maxKeyLen {
+		p.fail("implausible %s length %d", what, n)
+		return ""
+	}
+	if len(p.data) < n {
+		p.fail("truncated %s", what)
+		return ""
+	}
+	v := string(p.data[:n])
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *payloadReader) bytes(what string) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if len(p.data) < 4 {
+		p.fail("truncated %s length", what)
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(p.data))
+	p.data = p.data[4:]
+	if n > maxPayload || len(p.data) < n {
+		p.fail("truncated %s (%d bytes claimed)", what, n)
+		return nil
+	}
+	v := p.data[:n]
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *payloadReader) uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.data)
+	if n <= 0 {
+		p.fail("truncated %s", what)
+		return 0
+	}
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *payloadReader) varint(what string) int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.data)
+	if n <= 0 {
+		p.fail("truncated %s", what)
+		return 0
+	}
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *payloadReader) byte(what string) byte {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.data) < 1 {
+		p.fail("truncated %s", what)
+		return 0
+	}
+	v := p.data[0]
+	p.data = p.data[1:]
+	return v
+}
+
+func appendStr(buf []byte, s string) ([]byte, error) {
+	if len(s) > maxKeyLen {
+		return nil, fmt.Errorf("store: key string of %d bytes exceeds the format bound", len(s))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+// encodeSnapshot serializes (sig, hash, snapshot) into one payload.
+func encodeSnapshot(sig, hash string, snap *Snapshot) ([]byte, error) {
+	if snap == nil || snap.Layout == nil {
+		return nil, fmt.Errorf("store: nil snapshot")
+	}
+	var lay bytes.Buffer
+	if err := snap.Layout.WriteBinary(&lay); err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot layout: %w", err)
+	}
+	buf, err := appendStr(nil, sig)
+	if err != nil {
+		return nil, err
+	}
+	if buf, err = appendStr(buf, hash); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lay.Len()))
+	buf = append(buf, lay.Bytes()...)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Colors)))
+	for _, c := range snap.Colors {
+		if c < 0 {
+			return nil, fmt.Errorf("store: negative color %d in snapshot", c)
+		}
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendVarint(buf, int64(snap.Conflicts))
+	buf = binary.AppendVarint(buf, int64(snap.Stitches))
+	if snap.Proven {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+func decodeSnapshot(payload []byte) (sig, hash string, snap *Snapshot, err error) {
+	p := &payloadReader{data: payload}
+	sig = p.str("options signature")
+	hash = p.str("layout hash")
+	layBytes := p.bytes("layout")
+	if p.err != nil {
+		return "", "", nil, p.err
+	}
+	l, err := layout.ReadBinary(bytes.NewReader(layBytes))
+	if err != nil {
+		return "", "", nil, fmt.Errorf("store: snapshot layout: %w", err)
+	}
+	nc := p.uvarint("color count")
+	if p.err == nil && nc > uint64(maxPayload) {
+		p.fail("implausible color count %d", nc)
+	}
+	if p.err != nil {
+		return "", "", nil, p.err
+	}
+	capHint := nc
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	colors := make([]int, 0, capHint)
+	for i := uint64(0); i < nc; i++ {
+		colors = append(colors, int(p.uvarint("color")))
+	}
+	snap = &Snapshot{
+		Layout:    l,
+		Colors:    colors,
+		Conflicts: int(p.varint("conflict count")),
+		Stitches:  int(p.varint("stitch count")),
+		Proven:    p.byte("proven flag") != 0,
+	}
+	if p.err != nil {
+		return "", "", nil, p.err
+	}
+	if len(p.data) != 0 {
+		return "", "", nil, fmt.Errorf("store: %d trailing bytes in snapshot record", len(p.data))
+	}
+	return sig, hash, snap, nil
+}
+
+// encodeEditsRecord serializes (sig, next, base, batch) into one payload.
+// next (the successor hash, this record's index key) comes before base so
+// parseKeys reads the key fields at the same positions for both kinds.
+func encodeEditsRecord(sig, base, next string, edits []core.Edit) ([]byte, error) {
+	buf, err := appendStr(nil, sig)
+	if err != nil {
+		return nil, err
+	}
+	if buf, err = appendStr(buf, next); err != nil {
+		return nil, err
+	}
+	if buf, err = appendStr(buf, base); err != nil {
+		return nil, err
+	}
+	return core.EncodeEdits(buf, edits), nil
+}
+
+func decodeEditsRecord(payload []byte) (sig, next, base string, edits []core.Edit, err error) {
+	p := &payloadReader{data: payload}
+	sig = p.str("options signature")
+	next = p.str("layout hash")
+	base = p.str("base hash")
+	if p.err != nil {
+		return "", "", "", nil, p.err
+	}
+	edits, err = core.DecodeEdits(p.data)
+	if err != nil {
+		return "", "", "", nil, err
+	}
+	return sig, next, base, edits, nil
+}
+
+// parseKeys extracts the index key fields from a payload without decoding
+// its body — all recovery needs.
+func parseKeys(typ byte, payload []byte) (sig, hash, base string, err error) {
+	p := &payloadReader{data: payload}
+	sig = p.str("options signature")
+	hash = p.str("layout hash")
+	switch typ {
+	case recSnapshot:
+	case recEdits:
+		base = p.str("base hash")
+	default:
+		return "", "", "", fmt.Errorf("store: unknown record type %d", typ)
+	}
+	if p.err != nil {
+		return "", "", "", p.err
+	}
+	return sig, hash, base, nil
+}

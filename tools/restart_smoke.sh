@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# restart_smoke.sh — end-to-end restart-recovery smoke of durable sessions
+# (DESIGN.md §13): boot `qpld serve -data-dir`, open an ECO session over
+# HTTP and advance it one batch, SIGKILL the server (no drain, no flush
+# beyond the write-ahead discipline), restart it on the same directory, and
+# chain a further batch from the pre-crash hash. The layout is never
+# re-sent after the crash — the session must come back from the log. CI
+# runs this on every push; locally: tools/restart_smoke.sh [port].
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${1:-18470}"
+BASE="http://127.0.0.1:$PORT"
+DIR="$(mktemp -d)"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+command -v jq >/dev/null || fail "jq is required"
+
+start_server() {
+  "$DIR/qpld" serve -addr "127.0.0.1:$PORT" -data-dir "$DIR/sessions" \
+    >>"$DIR/serve.log" 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$PID" 2>/dev/null || { cat "$DIR/serve.log" >&2; fail "server died on startup"; }
+    sleep 0.1
+  done
+  cat "$DIR/serve.log" >&2
+  fail "server never became healthy on port $PORT"
+}
+
+go build -o "$DIR/qpld" ./cmd/qpld
+
+# A dense row of 8 features, 30 nm gaps — real conflict edges.
+layout='{"features":[[[0,0,20,200]],[[50,0,70,200]],[[100,0,120,200]],[[150,0,170,200]],[[200,0,220,200]],[[250,0,270,200]],[[300,0,320,200]],[[350,0,370,200]]]}'
+
+start_server
+echo "server up (pid $PID), solving..."
+
+full=$(curl -fsS "$BASE/v1/decompose" \
+  -d "{\"k\":4,\"algorithm\":\"sdp-backtrack\",\"layout\":$layout}")
+base_hash=$(echo "$full" | jq -re .layout_hash) || fail "no layout_hash in $full"
+
+inc=$(curl -fsS "$BASE/v1/decompose/incremental" \
+  -d "{\"base\":\"$base_hash\",\"k\":4,\"algorithm\":\"sdp-backtrack\",\"edits\":[{\"op\":\"remove\",\"feature\":7}]}")
+pre_crash=$(echo "$inc" | jq -re .layout_hash) || fail "no layout_hash in $inc"
+echo "session advanced to ${pre_crash:0:12}..., killing server"
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+start_server
+echo "server back up (pid $PID), chaining from the pre-crash hash..."
+
+code=$(curl -sS -o "$DIR/after.json" -w '%{http_code}' "$BASE/v1/decompose/incremental" \
+  -d "{\"base\":\"$pre_crash\",\"k\":4,\"algorithm\":\"sdp-backtrack\",\"edits\":[{\"op\":\"move\",\"feature\":0,\"dx\":25}]}")
+[ "$code" = 200 ] || { cat "$DIR/after.json" >&2; fail "post-restart incremental answered $code, want 200"; }
+jq -re .layout_hash "$DIR/after.json" >/dev/null || fail "post-restart response has no layout_hash"
+jq -e '.incremental != null' "$DIR/after.json" >/dev/null \
+  || fail "post-restart batch was not a fresh incremental solve: $(cat "$DIR/after.json")"
+
+stats=$(curl -fsS "$BASE/v1/stats")
+echo "$stats" | jq -e '.rehydrations >= 1' >/dev/null \
+  || fail "no rehydration recorded after restart: $stats"
+echo "$stats" | jq -e '.store_errors == 0' >/dev/null \
+  || fail "restart recovery tripped store errors: $stats"
+echo "$stats" | jq -e '.store.live_sessions >= 1' >/dev/null \
+  || fail "store block missing or empty: $stats"
+
+echo "PASS: session survived kill -9 ($(echo "$stats" | jq -c '{rehydrations, spills, store_errors, store}'))"
