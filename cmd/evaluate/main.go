@@ -338,7 +338,10 @@ func writeStageTable(w io.Writer, names []string, specs []sweepSpec, out []servi
 		if shapes {
 			fmt.Fprintf(w, " %8s %8s %8s", "sh-hit", "sh-miss", "sh-dist")
 		}
-		fmt.Fprintln(w)
+		// Dispatch-imbalance gauge: workers that processed ≥1 component and
+		// the busiest/idlest worker's busy wall (ms). A busy-max far above
+		// busy-min means a straggler held the dispatch stage hostage.
+		fmt.Fprintf(w, " %6s %9s %9s\n", "disp-w", "busy-max", "busy-min")
 		for ci, name := range names {
 			r := out[ci*len(specs)+si]
 			if r.Err != nil || r.Result == nil {
@@ -353,7 +356,9 @@ func writeStageTable(w io.Writer, names []string, specs []sweepSpec, out []servi
 				sh := r.Result.DivisionStats.Shapes
 				fmt.Fprintf(w, " %8d %8d %8d", sh.Hits, sh.Misses, sh.Distinct)
 			}
-			fmt.Fprintln(w)
+			bal := r.Result.DivisionStats.Balance
+			fmt.Fprintf(w, " %6d %9.3f %9.3f\n",
+				bal.Workers, benchrec.Ms(bal.MaxBusy), benchrec.Ms(bal.MinBusy))
 		}
 	}
 }

@@ -655,6 +655,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":   st.Shapes.Misses,
 			"distinct": st.Shapes.Distinct,
 		},
+		// Dispatch-imbalance gauge: per-worker busy-time extremes across
+		// every solve this process executed (division.Balance merge
+		// semantics — workers sum, max/min are lifetime extremes).
+		"dispatch_balance": map[string]any{
+			"workers":     st.Balance.Workers,
+			"max_busy_ms": float64(st.Balance.MaxBusy.Microseconds()) / 1000,
+			"min_busy_ms": float64(st.Balance.MinBusy.Microseconds()) / 1000,
+		},
 	}
 	if ss := st.Store; ss != nil {
 		out["store"] = map[string]any{

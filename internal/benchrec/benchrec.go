@@ -171,6 +171,14 @@ type AlgorithmRun struct {
 	ShapeHits     int `json:"shape_hits,omitempty"`
 	ShapeMisses   int `json:"shape_misses,omitempty"`
 	ShapeDistinct int `json:"shape_distinct,omitempty"`
+	// Dispatch-imbalance gauge: how many division workers processed at
+	// least one component, and the busiest/idlest worker's busy wall time.
+	// MaxBusy/MinBusy close together means the LPT schedule kept the pool
+	// saturated; far apart means a straggler. Omitted for serial runs with
+	// no components and for cache-served results.
+	DispatchWorkers   int     `json:"dispatch_workers,omitempty"`
+	DispatchMaxBusyMs float64 `json:"dispatch_max_busy_ms,omitempty"`
+	DispatchMinBusyMs float64 `json:"dispatch_min_busy_ms,omitempty"`
 }
 
 // Ms converts a duration to the trajectory's unit (milliseconds, with
@@ -197,16 +205,19 @@ func CircuitOf(name string, st core.BuildStats) Circuit {
 // AlgorithmRunOf records one engine's result under the given column name.
 func AlgorithmRunOf(algorithm string, res *core.Result) AlgorithmRun {
 	return AlgorithmRun{
-		Algorithm:     algorithm,
-		Conflicts:     res.Conflicts,
-		Stitches:      res.Stitches,
-		Proven:        res.Proven,
-		AssignMs:      Ms(res.AssignTime),
-		SolverMs:      Ms(res.SolverTime),
-		StageMs:       StageMsOf(res.DivisionStats.Stages),
-		ShapeHits:     res.DivisionStats.Shapes.Hits,
-		ShapeMisses:   res.DivisionStats.Shapes.Misses,
-		ShapeDistinct: res.DivisionStats.Shapes.Distinct,
+		Algorithm:         algorithm,
+		Conflicts:         res.Conflicts,
+		Stitches:          res.Stitches,
+		Proven:            res.Proven,
+		AssignMs:          Ms(res.AssignTime),
+		SolverMs:          Ms(res.SolverTime),
+		StageMs:           StageMsOf(res.DivisionStats.Stages),
+		ShapeHits:         res.DivisionStats.Shapes.Hits,
+		ShapeMisses:       res.DivisionStats.Shapes.Misses,
+		ShapeDistinct:     res.DivisionStats.Shapes.Distinct,
+		DispatchWorkers:   res.DivisionStats.Balance.Workers,
+		DispatchMaxBusyMs: Ms(res.DivisionStats.Balance.MaxBusy),
+		DispatchMinBusyMs: Ms(res.DivisionStats.Balance.MinBusy),
 	}
 }
 

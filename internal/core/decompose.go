@@ -333,11 +333,16 @@ type graphRun struct {
 }
 
 // divide runs graph division with the configured engine dispatcher over
-// the shared scratch pool.
+// the shared scratch pool. The run's pipeline environment couples the
+// division worker pool to the engines: one scratch pool for every arena
+// lease, and one parallelism budget (sized to Division.Workers) shared by
+// component-level workers and the SDP restart fan-out, so their combined
+// goroutine count never exceeds the configured worker allowance.
 func (r *graphRun) divide(ctx context.Context) error {
 	start := time.Now()
 	tally := newEngineTally()
-	inner := makeSolver(ctx, r.opts, &r.unproven, tally, r.pool)
+	env := pipeline.Env{Scratch: r.pool, Budget: pipeline.NewBudget(r.opts.Division.Workers)}
+	inner := makeSolver(ctx, r.opts, &r.unproven, tally, env)
 	var shapeStats *shapeTally
 	if r.opts.Memoize {
 		shapeStats = newShapeTally()
@@ -349,7 +354,7 @@ func (r *graphRun) divide(ctx context.Context) error {
 		r.solverNs.Add(int64(time.Since(t0)))
 		return colors
 	}
-	r.colors, r.stats = division.DecomposeEnv(ctx, r.dg.G, r.opts.Division, division.Env{Scratch: r.pool}, solver)
+	r.colors, r.stats = division.DecomposeEnv(ctx, r.dg.G, r.opts.Division, env, solver)
 	tally.drainInto(&r.stats)
 	if shapeStats != nil {
 		shapeStats.drainInto(&r.stats)
@@ -450,7 +455,7 @@ func (t *engineTally) drainInto(st *division.Stats) {
 // components like the classic AlgILP path. Solvers are safe for concurrent
 // calls (division's Workers mode); each call carves its engine workspace
 // from the scratch arena it is handed.
-func classSolver(class portfolio.Class, opts Options, unproven *atomic.Bool, fellBack *atomic.Bool, ilpDeadline time.Time) portfolio.Solver {
+func classSolver(class portfolio.Class, opts Options, env pipeline.Env, unproven *atomic.Bool, fellBack *atomic.Bool, ilpDeadline time.Time) portfolio.Solver {
 	switch class {
 	case portfolio.Linear:
 		lin := opts.Linear
@@ -459,12 +464,12 @@ func classSolver(class portfolio.Class, opts Options, unproven *atomic.Bool, fel
 		}
 	case portfolio.SDPGreedy:
 		return func(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) []int {
-			sol := solveSDP(ctx, g, opts, sc)
+			sol := solveSDP(ctx, g, opts, sc, env)
 			return coloring.SDPGreedy(g, sol, opts.K, opts.Alpha)
 		}
 	case portfolio.SDPBacktrack:
 		return func(ctx context.Context, g *graph.Graph, sc *pipeline.Scratch) []int {
-			sol := solveSDP(ctx, g, opts, sc)
+			sol := solveSDP(ctx, g, opts, sc, env)
 			colors, ok := coloring.SDPBacktrackContext(ctx, g, sol, opts.K, opts.Alpha, opts.Threshold, opts.BacktrackNodeLimit)
 			if !ok {
 				unproven.Store(true)
@@ -530,8 +535,9 @@ func engineLabel(class portfolio.Class, fellBack bool) string {
 // "fallback", not their class. The worker's scratch arena is threaded into
 // the engine (auto/fixed); race-mode racers lease their own arenas from
 // the run's pool, because a cancelled loser may still be writing to its
-// arena after the race returns.
-func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally *engineTally, pool *pipeline.ScratchPool) division.Solver {
+// arena after the race returns. The env additionally carries the run's
+// parallelism budget down into the SDP restart fan-out.
+func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally *engineTally, env pipeline.Env) division.Solver {
 	// The shared ILP budget is a wall-clock deadline by contract: budget
 	// exhaustion degrades pieces to the linear fallback, tallied as
 	// "fallback" and surfaced via Proven=false — never as different bytes
@@ -546,7 +552,7 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 			var fell [portfolio.NumClasses]atomic.Bool
 			var engines [portfolio.NumClasses]portfolio.Solver
 			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
-				engines[c] = classSolver(c, opts, unproven, &fell[c], ilpDeadline)
+				engines[c] = classSolver(c, opts, env, unproven, &fell[c], ilpDeadline)
 			}
 			colors, out := portfolio.Auto(ctx, g, opts.Portfolio, opts.K, engines, sc)
 			tally.add(engineLabel(out.Winner, fell[out.Winner].Load()))
@@ -562,9 +568,9 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 			var flags, fell [portfolio.NumClasses]atomic.Bool
 			var engines [portfolio.NumClasses]portfolio.Solver
 			for c := portfolio.Class(0); c < portfolio.NumClasses; c++ {
-				engines[c] = classSolver(c, opts, &flags[c], &fell[c], ilpDeadline)
+				engines[c] = classSolver(c, opts, env, &flags[c], &fell[c], ilpDeadline)
 			}
-			colors, out := portfolio.Race(ctx, g, opts.Portfolio, opts.K, opts.Alpha, opts.RaceBudget, engines, pool)
+			colors, out := portfolio.Race(ctx, g, opts.Portfolio, opts.K, opts.Alpha, opts.RaceBudget, engines, env)
 			if !out.ProvenOptimal && flags[out.Winner].Load() {
 				unproven.Store(true)
 			}
@@ -575,20 +581,20 @@ func makeSolver(ctx context.Context, opts Options, unproven *atomic.Bool, tally 
 	class := classOf(opts.Algorithm)
 	return func(g *graph.Graph, sc *pipeline.Scratch) []int {
 		var fell atomic.Bool
-		colors := classSolver(class, opts, unproven, &fell, ilpDeadline)(ctx, g, sc)
+		colors := classSolver(class, opts, env, unproven, &fell, ilpDeadline)(ctx, g, sc)
 		tally.add(engineLabel(class, fell.Load()))
 		return colors
 	}
 }
 
-func solveSDP(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch) *sdp.Solution {
-	return sdp.SolveScratch(ctx, g, sdp.Options{
+func solveSDP(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch, env pipeline.Env) *sdp.Solution {
+	return sdp.SolveScratchEnv(ctx, g, sdp.Options{
 		K:        opts.K,
 		Alpha:    opts.Alpha,
 		Restarts: opts.SDPRestarts,
 		MaxIter:  opts.SDPMaxIter,
 		Seed:     opts.Seed,
-	}, sc)
+	}, sc, env)
 }
 
 // VerifySolution independently re-derives conflicts from geometry: it

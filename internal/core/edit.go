@@ -654,7 +654,11 @@ func (r *editRun) divide(ctx context.Context) error {
 	if len(r.dirty) > 0 {
 		sort.Ints(r.dirty)
 		tally := newEngineTally()
-		inner := makeSolver(ctx, r.opts, &r.unproven, tally, sharedScratch)
+		// Same env coupling as the from-scratch divide: one scratch pool,
+		// one worker-budget shared between division workers and the SDP
+		// restart fan-out.
+		env := pipeline.Env{Scratch: sharedScratch, Budget: pipeline.NewBudget(r.opts.Division.Workers)}
+		inner := makeSolver(ctx, r.opts, &r.unproven, tally, env)
 		var shapeStats *shapeTally
 		if r.opts.Memoize {
 			shapeStats = newShapeTally()
@@ -667,7 +671,7 @@ func (r *editRun) divide(ctx context.Context) error {
 			return out
 		}
 		sub, orig := r.ib.dg.G.Subgraph(r.dirty)
-		subColors, st := division.DecomposeEnv(ctx, sub, r.opts.Division, division.Env{Scratch: sharedScratch}, solver)
+		subColors, st := division.DecomposeEnv(ctx, sub, r.opts.Division, env, solver)
 		for i, v := range orig {
 			r.colors[v] = subColors[i]
 		}

@@ -31,6 +31,7 @@ package division
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,14 +48,13 @@ import (
 // consumption — see pipeline.Scratch.
 type Solver func(g *graph.Graph, sc *pipeline.Scratch) []int
 
-// Env carries the cross-cutting pipeline machinery of one decomposition
-// run: the scratch-buffer pool workers lease their arenas from. The zero
-// value (nil pool) disables pooling — every buffer request allocates.
-type Env struct {
-	// Scratch is the per-worker arena pool; each division worker leases
-	// one arena for its lifetime and threads it through Dispatch.
-	Scratch *pipeline.ScratchPool
-}
+// Env is the cross-cutting pipeline machinery of one decomposition run:
+// the scratch-buffer pool workers lease their arenas from and the shared
+// parallelism budget the worker pool hands its idle slots back to (so
+// nested engine fan-outs, like the SDP restart runners, can claim them).
+// The zero value disables both — every buffer request allocates and
+// nested parallelism never engages.
+type Env = pipeline.Env
 
 // Options controls which division techniques run. The zero value enables
 // everything with the paper's parameters except K, which must be set.
@@ -135,6 +135,51 @@ type Stats struct {
 	// touches them — and arrive after the division finishes; worker-level
 	// Stats always carry zeros here.
 	Shapes ShapeStats
+
+	// Balance is the dispatch-imbalance gauge of the run: the busy-time
+	// extremes of the worker pool. A max/min ratio near 1 means LPT
+	// scheduling kept the pool saturated; a large ratio means one
+	// straggler component dominated the wall clock (which is exactly when
+	// the shared parallelism budget lets that component's SDP restarts
+	// fan out over the idle workers).
+	Balance Balance
+}
+
+// Balance reports how evenly the parallel Dispatch fan-out loaded the
+// worker pool. Unlike every other Stats field it merges by extremes, not
+// sums: each worker contributes its own total busy time, and the
+// aggregate keeps the max and the min observed.
+type Balance struct {
+	// Workers counts pool workers that processed at least one component
+	// (a serial run reports 1). Workers that never received a job carry
+	// no busy-time signal and are excluded.
+	Workers int
+	// MaxBusy and MinBusy are the busiest and least-busy workers' total
+	// in-job wall time. Across runs (the service aggregate) they are the
+	// lifetime extremes.
+	MaxBusy time.Duration
+	MinBusy time.Duration
+}
+
+// Merge folds another pool's (or worker's) balance into b, keeping the
+// busy-time extremes: worker counts sum, MaxBusy/MinBusy stay the extremes
+// observed. The zero value is the identity. The service aggregate uses the
+// same rule, so /v1/stats reports lifetime extremes.
+func (b *Balance) Merge(o Balance) {
+	if o.Workers == 0 {
+		return
+	}
+	if b.Workers == 0 {
+		*b = o
+		return
+	}
+	b.Workers += o.Workers
+	if o.MaxBusy > b.MaxBusy {
+		b.MaxBusy = o.MaxBusy
+	}
+	if o.MinBusy < b.MinBusy {
+		b.MinBusy = o.MinBusy
+	}
 }
 
 // ShapeStats counts canonical-shape cache traffic for one run: Hits is
@@ -186,6 +231,7 @@ func (s *Stats) addWorker(o Stats) {
 	s.Shapes.Hits += o.Shapes.Hits
 	s.Shapes.Misses += o.Shapes.Misses
 	s.Shapes.Distinct += o.Shapes.Distinct
+	s.Balance.Merge(o.Balance)
 }
 
 // Decompose divides the graph, colors every piece with solve, and
@@ -206,8 +252,10 @@ func DecomposeContext(ctx context.Context, g *graph.Graph, opts Options, solve S
 }
 
 // DecomposeEnv is DecomposeContext with an explicit pipeline environment:
-// a scratch pool for per-worker engine arenas. Stats.Stages is tallied
-// either way; the env only decides whether buffers are pooled.
+// a scratch pool for per-worker engine arenas and the run's shared
+// parallelism budget. Stats.Stages is tallied either way; the env only
+// decides whether buffers are pooled and whether idle worker slots are
+// handed to nested engine fan-outs.
 func DecomposeEnv(ctx context.Context, g *graph.Graph, opts Options, env Env, solve Solver) ([]int, Stats) {
 	opts = opts.withDefaults()
 	n := g.N()
@@ -221,48 +269,112 @@ func DecomposeEnv(ctx context.Context, g *graph.Graph, opts Options, env Env, so
 	// graphs (lock-free union-find over the CSR arenas); the result is
 	// byte-identical to a serial scan at any worker count.
 	comps := g.ComponentsWorkers(opts.Workers)
+	// LPT (longest-processing-time-first) scheduling order for the parallel
+	// pool: heaviest components first, sized by vertex count plus CSR
+	// degree sum — a subgraph-free proxy for solve cost — with discovery
+	// order breaking ties (stable sort), so a straggler component starts as
+	// early as possible instead of arriving last into an otherwise-drained
+	// pool. Computed inside the same Partition region as discovery so the
+	// per-stage call structure stays identical at any worker count.
+	var order []int
+	if opts.Workers > 1 && len(comps) > 1 {
+		order = make([]int, len(comps))
+		weight := make([]int, len(comps))
+		for ci, comp := range comps {
+			w := len(comp)
+			for _, v := range comp {
+				w += g.ConflictDegree(v) + g.StitchDegree(v)
+			}
+			order[ci] = ci
+			weight[ci] = w
+		}
+		sort.SliceStable(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+	}
 	st.AddStage(pipeline.StagePartition, time.Since(tPart))
 	st.Components = len(comps)
 	if opts.Workers <= 1 {
 		sc := env.Scratch.Get()
 		defer env.Scratch.Put(sc)
+		var busy time.Duration
 		for _, comp := range comps {
+			t0 := time.Now()
 			sub, orig := subgraphTimed(g, comp, &st)
 			subColors := decomposeComponent(ctx, sub, opts, solve, &st, sc)
 			for i, v := range orig {
 				colors[v] = subColors[i]
 			}
 			sc.PutInts(subColors)
+			busy += time.Since(t0)
+		}
+		if len(comps) > 0 {
+			st.Balance = Balance{Workers: 1, MaxBusy: busy, MinBusy: busy}
 		}
 		return colors, st
 	}
 
 	// Parallel mode: components are vertex-disjoint, so goroutines write
 	// non-overlapping slices of colors; per-worker stats merge at the end.
+	//
+	// Components enter the (pre-filled, closed) jobs channel in the LPT
+	// order computed above. Scheduling order is observably identical to
+	// discovery order: each component is solved from the same inputs, the
+	// writes are vertex-disjoint, and the per-worker stats merge the same
+	// way regardless of which worker ran which job.
 	type job struct{ comp []int }
-	jobs := make(chan job)
-	workerStats := make([]Stats, opts.Workers)
+	jobs := make(chan job, len(comps))
+	if order != nil {
+		for _, ci := range order {
+			jobs <- job{comp: comps[ci]}
+		}
+	} else {
+		for _, comp := range comps {
+			jobs <- job{comp: comp}
+		}
+	}
+	close(jobs)
+
+	// Spare worker slots — workers this run will never spawn because there
+	// are fewer components than Options.Workers — go straight to the shared
+	// budget, where a huge component's SDP restart fan-out can claim them.
+	spawn := opts.Workers
+	if len(comps) < spawn {
+		spawn = len(comps)
+	}
+	for w := spawn; w < opts.Workers; w++ {
+		env.Budget.Free()
+	}
+
+	workerStats := make([]Stats, spawn)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
+	for w := 0; w < spawn; w++ {
 		wg.Add(1)
 		go func(ws *Stats) {
 			defer wg.Done()
+			// The jobs channel is pre-filled and closed, so when this
+			// worker's receive fails it is permanently idle: its slot
+			// returns to the shared budget for nested fan-outs of the
+			// still-running workers.
+			defer env.Budget.Free()
 			sc := env.Scratch.Get()
 			defer env.Scratch.Put(sc)
+			var busy time.Duration
+			jobsRun := 0
 			for j := range jobs {
+				t0 := time.Now()
 				sub, orig := subgraphTimed(g, j.comp, ws)
 				subColors := decomposeComponent(ctx, sub, opts, solve, ws, sc)
 				for i, v := range orig {
 					colors[v] = subColors[i]
 				}
 				sc.PutInts(subColors)
+				busy += time.Since(t0)
+				jobsRun++
+			}
+			if jobsRun > 0 {
+				ws.Balance = Balance{Workers: 1, MaxBusy: busy, MinBusy: busy}
 			}
 		}(&workerStats[w])
 	}
-	for _, comp := range comps {
-		jobs <- job{comp: comp}
-	}
-	close(jobs)
 	wg.Wait()
 	for _, ws := range workerStats {
 		st.addWorker(ws)

@@ -302,13 +302,56 @@ func TestParallelRace(t *testing.T) {
 	}
 }
 
+func TestLPTDispatchMatchesDiscoveryOrder(t *testing.T) {
+	// Size-aware (LPT) dispatch only reorders which worker solves which
+	// component when; the coloring written back must stay byte-identical to
+	// the serial, discovery-ordered run at every worker count. The graph is
+	// built so LPT genuinely disagrees with discovery order: the components
+	// appear smallest-first, so the descending-weight sort reverses the job
+	// sequence entirely.
+	g := graph.New(0)
+	addChain := func(n int) {
+		first := g.AddVertex()
+		prev := first
+		for i := 1; i < n; i++ {
+			v := g.AddVertex()
+			g.AddConflict(prev, v)
+			prev = v
+		}
+		g.AddStitch(first, prev)
+	}
+	for _, size := range []int{2, 2, 2, 3, 4, 6, 9, 14, 21, 40} {
+		addChain(size)
+	}
+	serial, _ := Decompose(g, Options{K: 4, Alpha: 0.1}, exactSolver(4, 0.1))
+	for _, workers := range []int{1, 2, 8} {
+		colors, st := Decompose(g, Options{K: 4, Alpha: 0.1, Workers: workers}, exactSolver(4, 0.1))
+		for v := range serial {
+			if colors[v] != serial[v] {
+				t.Fatalf("workers=%d: vertex %d: got %d, want %d", workers, v, colors[v], serial[v])
+			}
+		}
+		// The imbalance gauge must be populated whenever components ran:
+		// at least one worker busy, extremes ordered.
+		if st.Balance.Workers < 1 || st.Balance.Workers > workers {
+			t.Fatalf("workers=%d: Balance.Workers = %d", workers, st.Balance.Workers)
+		}
+		if st.Balance.MaxBusy < st.Balance.MinBusy || st.Balance.MinBusy < 0 {
+			t.Fatalf("workers=%d: Balance extremes inverted: %+v", workers, st.Balance)
+		}
+	}
+}
+
 // statsEqualIgnoringTime compares two Stats up to wall-clock noise: all
 // counters, histograms, and per-stage region *counts* must match (the
 // stage structure is deterministic at any worker count), while stage wall
 // times and allocation deltas — genuinely run-dependent — are ignored.
+// Balance is ignored entirely: both its busy times and its worker count
+// (how many pool workers won at least one job) depend on scheduling.
 func statsEqualIgnoringTime(a, b Stats) bool {
 	sa, sb := a, b
 	sa.Stages, sb.Stages = nil, nil
+	sa.Balance, sb.Balance = Balance{}, Balance{}
 	if !reflect.DeepEqual(sa, sb) {
 		return false
 	}
@@ -390,14 +433,17 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			m.SetMapIndex(reflect.ValueOf("probe"), probeMapValue(t, rv.Field(i).Type().Elem()))
 			rv.Field(i).Set(m)
 		case reflect.Struct:
-			// Sub-counter structs (Shapes): every int field set to 1.
+			// Sub-counter structs (Shapes, Balance): every int-kind field
+			// set to 1 (Balance's busy times are time.Duration, kind int64).
 			sv := rv.Field(i)
 			for j := 0; j < sv.NumField(); j++ {
-				if sv.Field(j).Kind() != reflect.Int {
+				switch sv.Field(j).Kind() {
+				case reflect.Int, reflect.Int64:
+					sv.Field(j).SetInt(1)
+				default:
 					t.Fatalf("Stats field %s.%s has kind %s; teach this test (and addWorker) how to merge it",
 						rv.Type().Field(i).Name, sv.Type().Field(j).Name, sv.Field(j).Kind())
 				}
-				sv.Field(j).SetInt(1)
 			}
 		default:
 			t.Fatalf("Stats field %s has kind %s; teach this test (and addWorker) how to merge it",
@@ -413,6 +459,16 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 		if f.Name == "Components" {
 			if dv.Field(i).Int() != 0 {
 				t.Errorf("addWorker must not merge Components (global count)")
+			}
+			continue
+		}
+		if f.Name == "Balance" {
+			// Balance merges by extremes, not sums: worker counts add,
+			// busy-time extremes of identical {1,1} probes stay 1.
+			got := dv.Field(i).Interface().(Balance)
+			want := Balance{Workers: 2, MaxBusy: 1, MinBusy: 1}
+			if got != want {
+				t.Errorf("Balance merged to %+v, want %+v (max/min semantics)", got, want)
 			}
 			continue
 		}

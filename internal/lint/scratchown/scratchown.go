@@ -11,6 +11,12 @@
 //  2. noGoCapture (§9 rule 2): a goroutine must not capture or receive an
 //     enclosing scope's Scratch — each racer/worker leases its own arena
 //     inside its own goroutine (`sc := pool.Get()` in the goroutine body).
+//     The SDP restart fan-out (DESIGN.md §14) is the canonical sanctioned
+//     shape: the caller's arena keeps the pre-carved factor blocks, and
+//     each extra restart runner opens `rsc := env.Scratch.Get()` /
+//     `defer env.Scratch.Put(rsc)` inside its goroutine for the workspace
+//     it descends with. Pool, Env, and Budget captures are exempt — those
+//     are shared by design; only the leased arena is single-goroutine.
 //  3. noUseAfterPut (§9 rule 3): after pool.Put(sc), sc (and every buffer
 //     carved from it) belongs to the next lessee; any later use of sc in
 //     the same block is a finding. `defer pool.Put(sc)` is the idiomatic

@@ -22,3 +22,20 @@ func (p *ScratchPool) Get() *Scratch { return &Scratch{} }
 
 // Put returns an arena to the pool.
 func (p *ScratchPool) Put(s *Scratch) { _ = s }
+
+// Env mirrors the real pipeline.Env: pool and budget are shared by design,
+// so carrying them in a struct (or capturing them in goroutines) is fine —
+// only the leased Scratch itself is single-goroutine.
+type Env struct {
+	Scratch *ScratchPool
+	Budget  *Budget
+}
+
+// Budget is a stub of the shared parallelism budget.
+type Budget struct{}
+
+// TryAcquire claims an idle-worker slot if one is free.
+func (b *Budget) TryAcquire() bool { return b != nil }
+
+// Release returns a claimed slot.
+func (b *Budget) Release() {}

@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -135,5 +136,126 @@ func TestEmptyMatrix(t *testing.T) {
 	}
 	if m.MinEigenvalue() != 0 {
 		t.Fatal("empty MinEigenvalue != 0")
+	}
+}
+
+// genericDot is the pre-unrolling reference: the plain left-to-right loop.
+func genericDot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// TestFixedRankKernelsBitIdentical pins the unrolled Dot/Axpy/AxpyPair
+// dispatch cases against their generic loops bit-for-bit, across every
+// length the switch handles plus the fallback — the determinism contract
+// the SDP trajectory rests on. Inputs mix magnitudes and signs so any
+// reassociation would actually move bits.
+func TestFixedRankKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 1; n <= 12; n++ {
+		for trial := 0; trial < 50; trial++ {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				a[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+				b[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+			if got, want := Dot(a, b), genericDot(a, b); got != want {
+				t.Fatalf("n=%d: Dot = %b, generic loop = %b", n, got, want)
+			}
+
+			w := (rng.Float64() - 0.5) * 4
+			dst := make([]float64, n)
+			ref := make([]float64, n)
+			for i := range dst {
+				dst[i] = (rng.Float64() - 0.5) * 8
+				ref[i] = dst[i]
+			}
+			Axpy(dst, w, a)
+			for i := range ref {
+				ref[i] += w * a[i]
+			}
+			for i := range dst {
+				if dst[i] != ref[i] {
+					t.Fatalf("n=%d: Axpy[%d] = %b, want %b", n, i, dst[i], ref[i])
+				}
+			}
+
+			gu := make([]float64, n)
+			gv := make([]float64, n)
+			ru := make([]float64, n)
+			rv := make([]float64, n)
+			for i := range gu {
+				gu[i] = (rng.Float64() - 0.5) * 8
+				gv[i] = (rng.Float64() - 0.5) * 8
+				ru[i], rv[i] = gu[i], gv[i]
+			}
+			AxpyPair(gu, gv, w, a, b)
+			Axpy(ru, w, b)
+			Axpy(rv, w, a)
+			for i := range gu {
+				if gu[i] != ru[i] || gv[i] != rv[i] {
+					t.Fatalf("n=%d: AxpyPair[%d] = (%b,%b), want (%b,%b)", n, i, gu[i], gv[i], ru[i], rv[i])
+				}
+			}
+
+			// AxpyIntoNormSq vs copy + Axpy + Dot(dst,dst): the fused trial
+			// step must write the same bytes and return the same norm².
+			out := make([]float64, n)
+			refOut := make([]float64, n)
+			copy(refOut, gv)
+			Axpy(refOut, w, a)
+			s := AxpyIntoNormSq(out, gv, w, a)
+			for i := range out {
+				if out[i] != refOut[i] {
+					t.Fatalf("n=%d: AxpyIntoNormSq[%d] = %b, want %b", n, i, out[i], refOut[i])
+				}
+			}
+			if want := Dot(refOut, refOut); s != want {
+				t.Fatalf("n=%d: AxpyIntoNormSq norm² = %b, want %b", n, s, want)
+			}
+			// In-place form (the Riemannian projection's fused pass).
+			inPlace := make([]float64, n)
+			refIn := make([]float64, n)
+			copy(inPlace, gu)
+			copy(refIn, gu)
+			Axpy(refIn, w, b)
+			s = AxpyNormSq(inPlace, w, b)
+			for i := range inPlace {
+				if inPlace[i] != refIn[i] {
+					t.Fatalf("n=%d: AxpyNormSq[%d] = %b, want %b", n, i, inPlace[i], refIn[i])
+				}
+			}
+			if want := Dot(refIn, refIn); s != want {
+				t.Fatalf("n=%d: AxpyNormSq norm² = %b, want %b", n, s, want)
+			}
+		}
+	}
+}
+
+// BenchmarkDotFixedRank measures the unrolled Dot at the SDP's working
+// ranks next to a just-past-the-switch length (the generic loop). CI's
+// bench-smoke job publishes the lines; a regression here taxes every edge
+// of every gradient iteration.
+func BenchmarkDotFixedRank(b *testing.B) {
+	for _, n := range []int{3, 4, 6, 8, 16} {
+		a := make([]float64, n)
+		c := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i+1) * 0.375
+			c[i] = float64(n-i) * 0.25
+		}
+		b.Run(fmt.Sprintf("rank%d", n), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Dot(a, c)
+			}
+			if sink == math.Inf(1) {
+				b.Fatal("unreachable: keeps sink live")
+			}
+		})
 	}
 }

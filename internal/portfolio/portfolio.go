@@ -268,11 +268,14 @@ func Auto(ctx context.Context, g *graph.Graph, t Thresholds, k int, engines [Num
 // better cost wins, ties going to the primary so that a race whose
 // secondary cannot strictly beat auto's choice returns byte-identical
 // colors to auto mode.
-// Racers lease their own scratch arenas from pool (nil disables pooling)
-// rather than sharing the caller's: a cancelled loser keeps running — and
-// writing into its arena — until its next checkpoint, which may be after
-// Race has returned, so the caller's arena must never be exposed to it.
-func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float64, budget time.Duration, engines [NumClasses]Solver, pool *pipeline.ScratchPool) ([]int, Outcome) {
+// Racers lease their own scratch arenas from the env's pool (nil disables
+// pooling) rather than sharing the caller's: a cancelled loser keeps
+// running — and writing into its arena — until its next checkpoint, which
+// may be after Race has returned, so the caller's arena must never be
+// exposed to it. The env's parallelism budget rides along untouched — the
+// engines themselves (SDP restarts) decide whether to claim idle slots.
+func Race(ctx context.Context, g *graph.Graph, t Thresholds, k int, alpha float64, budget time.Duration, engines [NumClasses]Solver, env pipeline.Env) ([]int, Outcome) {
+	pool := env.Scratch
 	primary, secondary := t.RacePair(Analyze(g), k)
 	if primary == secondary {
 		sc := pool.Get()

@@ -120,7 +120,7 @@ func TestRaceFirstProvablyOptimalWinsAndCancelsLoser(t *testing.T) {
 		return []int{0, 0, 0} // cost-3 incumbent
 	}
 	engines[SDPBacktrack] = stub(0, []int{0, 1, 2}, nil) // cost 0, instant
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, pipeline.Env{})
 	if !out.ProvenOptimal || out.Winner != SDPBacktrack || !out.Raced || out.Loser != ILP {
 		t.Fatalf("outcome %+v", out)
 	}
@@ -142,7 +142,7 @@ func TestRaceTieGoesToPrimary(t *testing.T) {
 	// race degenerates to auto deterministically.
 	engines[ILP] = stub(30*time.Millisecond, []int{1, 1, 1}, nil)
 	engines[SDPBacktrack] = stub(0, []int{2, 2, 2}, nil)
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, pipeline.Env{})
 	if out.Winner != ILP || out.ProvenOptimal {
 		t.Fatalf("outcome %+v", out)
 	}
@@ -156,7 +156,7 @@ func TestRaceStrictlyBetterSecondaryWins(t *testing.T) {
 	var engines [NumClasses]Solver
 	engines[ILP] = stub(0, []int{0, 0, 0}, nil)          // cost 3 (all edges conflict)
 	engines[SDPBacktrack] = stub(0, []int{0, 1, 1}, nil) // cost 1 — strictly better, nonzero
-	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, nil)
+	colors, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 0, engines, pipeline.Env{})
 	if out.Winner != SDPBacktrack || out.ProvenOptimal {
 		t.Fatalf("outcome %+v, colors %v", out, colors)
 	}
@@ -170,7 +170,7 @@ func TestRaceBudgetBoundsTheRace(t *testing.T) {
 	engines[ILP] = stub(time.Hour, []int{0, 0, 0}, nil)
 	engines[SDPBacktrack] = stub(time.Hour, []int{1, 1, 1}, nil)
 	start := time.Now()
-	_, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 50*time.Millisecond, engines, nil)
+	_, out := Race(context.Background(), g, Thresholds{}, 4, 0.1, 50*time.Millisecond, engines, pipeline.Env{})
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("race ran %v past a 50ms budget", elapsed)
 	}

@@ -23,6 +23,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"mpl/internal/graph"
 	"mpl/internal/matrix"
@@ -119,6 +121,44 @@ func SolveContext(ctx context.Context, g *graph.Graph, opts Options) *Solution {
 // numerical trajectory is bit-identical either way — the workspace only
 // changes where the floats live.
 func SolveScratch(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch) *Solution {
+	return SolveScratchEnv(ctx, g, opts, sc, pipeline.Env{})
+}
+
+// restartParallelMinEdges is the component-size floor below which the
+// restart fan-out does not engage even when budget slots are free: on
+// trivially small pieces the descend loop finishes in microseconds and a
+// goroutine handoff costs more than it saves. Purely a scheduling
+// heuristic — the solve's bytes are identical either way.
+const restartParallelMinEdges = 32
+
+// SolveScratchEnv is SolveScratch with the run's pipeline environment.
+// When the environment carries a parallelism budget with free slots
+// (division workers that have gone idle), the random restarts run
+// concurrently instead of back-to-back — the one-huge-component workload
+// where component-level parallelism has nothing left to offer.
+//
+// The result is bit-identical to the serial loop, by construction:
+//
+//   - rng serialization point: every restart's NormFloat64 initialization
+//     is pre-drawn serially from the single seeded rng, in the exact
+//     deviate order of the serial loop (restart-major, then row-major) —
+//     the rng is never touched concurrently, and descend consumes no
+//     randomness at all;
+//   - disjoint state: each restart descends its own factor block (carved
+//     from the caller's arena, so the winner's vectors outlive the solve
+//     exactly as before), and each runner leases its own scratch arena for
+//     the gradient/line-search workspace;
+//   - winner selection: each restart's score is computed once from its
+//     final state, and the winner is the lexicographic minimum of
+//     (score, restart index) — precisely the strict-improvement rule the
+//     serial loop applied, independent of completion order.
+//
+// Under cancellation the usual degraded contract applies (the best of the
+// restarts that ran is returned; at least one always runs to its own
+// cancellation checkpoint); which restarts those are may differ between
+// serial and parallel execution, exactly as division's parallel mode
+// already documents for its fallback pieces.
+func SolveScratchEnv(ctx context.Context, g *graph.Graph, opts Options, sc *pipeline.Scratch, env pipeline.Env) *Solution {
 	n := g.N()
 	opts = opts.withDefaults(n)
 	if n == 0 {
@@ -129,53 +169,142 @@ func SolveScratch(ctx context.Context, g *graph.Graph, opts Options, sc *pipelin
 	ce := g.ConflictEdges()
 	se := g.StitchEdges()
 	target := -1.0 / float64(opts.K-1)
-
 	done := ctx.Done()
+
+	// Serialization point: draw every restart's initialization now, from
+	// the one seeded rng, before any concurrency exists.
 	rng := rand.New(rand.NewSource(opts.Seed))
-	var best *state
-restarts:
-	for restart := 0; restart < opts.Restarts; restart++ {
-		st := newState(n, opts.Rank, rng, sc)
-		st.descend(done, ce, se, opts, target)
-		if best == nil || st.score(ce, target) < best.score(ce, target) {
-			best = st
-		}
-		select {
-		case <-done:
-			break restarts // cancelled: keep the incumbent, stop restarting
-		default:
+	states := make([]*state, opts.Restarts)
+	for i := range states {
+		states[i] = newState(n, opts.Rank, rng, sc)
+	}
+
+	// Claim idle worker slots for the extra restart runners. TryAcquire
+	// never blocks: with no budget (or no idle workers) the fan-out simply
+	// stays serial.
+	extra := 0
+	if opts.Restarts > 1 && len(ce)+len(se) >= restartParallelMinEdges {
+		for extra < opts.Restarts-1 && env.Budget.TryAcquire() {
+			extra++
 		}
 	}
 
-	sol := &Solution{Vectors: best.v}
-	sol.Obj, sol.MaxViolation = evaluate(best.v, ce, se, opts.Alpha, target)
+	scores := make([]float64, opts.Restarts)
+	ran := make([]bool, opts.Restarts)
+	var next atomic.Int64
+	runRestarts := func(ws *workspace) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= opts.Restarts {
+				return
+			}
+			// The claimed restart always descends and scores — even under a
+			// dead context descend returns promptly with a valid state, so
+			// at least one restart (index 0) is always ranked. The done
+			// check sits after, mirroring the serial loop's "finish the
+			// current restart, then stop restarting".
+			states[i].descend(done, ce, se, opts, target, ws)
+			scores[i] = states[i].score(ce, target)
+			ran[i] = true
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}
+	if extra > 0 {
+		var wg sync.WaitGroup
+		for w := 0; w < extra; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer env.Budget.Release()
+				// Arena-lease-per-runner: the goroutine leases its own
+				// scratch for the descend workspace and returns it before
+				// exiting — the caller's arena (holding the factor blocks)
+				// is never touched from here.
+				rsc := env.Scratch.Get()
+				defer env.Scratch.Put(rsc)
+				runRestarts(newWorkspace(n, opts.Rank, len(ce), rsc))
+			}()
+		}
+		runRestarts(newWorkspace(n, opts.Rank, len(ce), sc))
+		wg.Wait()
+	} else {
+		runRestarts(newWorkspace(n, opts.Rank, len(ce), sc))
+	}
+
+	// Lexicographic (score, restart index) minimum over the restarts that
+	// ran — the serial loop's strict-improvement rule, with each score
+	// computed exactly once (the old comparison re-scored the incumbent's
+	// full CE scan on every restart).
+	best := -1
+	for i := 0; i < opts.Restarts; i++ {
+		if ran[i] && (best < 0 || scores[i] < scores[best]) {
+			best = i
+		}
+	}
+
+	sol := &Solution{Vectors: states[best].v}
+	sol.Obj, sol.MaxViolation = evaluate(states[best].v, ce, se, opts.Alpha, target)
 	return sol
 }
 
+// state is one restart's factor rows: n unit rows over one flat n×r block
+// carved from the caller's arena, so the winning restart's vectors stay
+// valid after the solve returns (Solution.Vectors alias them).
 type state struct {
-	v    [][]float64 // n unit rows
-	grad [][]float64
-	// saved is the line-search save buffer (n×r, one flat block). It lives
-	// on the state so the backtracking search stops allocating it once per
-	// iteration — the single largest allocation source of the old solver.
-	saved []float64
+	v [][]float64
+	// back is the flat n×r backing the rows of v alias — kept so the
+	// line-search save/restore is one block copy instead of n row copies.
+	back []float64
 }
 
-// newState carves one restart's workspace from the scratch arena (three
-// flat n×r blocks plus the row-header tables) and fills the factor rows
-// with the rng's normal deviates in the same row-major order as always —
-// pooling must not perturb the deterministic restart trajectory.
-func newState(n, r int, rng *rand.Rand, sc *pipeline.Scratch) *state {
-	vBack := sc.Floats(n * r)
-	gradBack := sc.Floats(n * r)
-	st := &state{
-		v:     make([][]float64, n),
-		grad:  make([][]float64, n),
-		saved: sc.Floats(n * r),
+// workspace is one restart runner's reusable descend workspace: the
+// gradient rows over one flat n×r backing — kept flat so zeroing is a
+// single memclr-able clear instead of a row-by-row nested loop — plus the
+// line-search save buffer and the conflict-edge dot cache. A runner carves
+// it once and reuses it across every restart it executes: no state crosses
+// restarts through it (the gradient is rebuilt from zero each iteration,
+// the save buffer is overwritten before it is read, and the dot cache is
+// guarded by descend's validity flag).
+type workspace struct {
+	grad     [][]float64
+	gradBack []float64
+	saved    []float64
+	// xbuf caches Dot(v[e.U], v[e.V]) per conflict edge, filled by every
+	// penalized scan. When the scanned point is the current iterate (the
+	// accepted line-search step, or any penalized call outside the trial
+	// loop), the next gradient pass reuses the cached dots instead of
+	// recomputing them — the identical float64s, so the trajectory cannot
+	// move.
+	xbuf []float64
+}
+
+func newWorkspace(n, r, ces int, sc *pipeline.Scratch) *workspace {
+	ws := &workspace{
+		grad:     make([][]float64, n),
+		gradBack: sc.Floats(n * r),
+		saved:    sc.Floats(n * r),
+		xbuf:     sc.Floats(ces),
 	}
 	for i := 0; i < n; i++ {
+		ws.grad[i] = ws.gradBack[i*r : (i+1)*r : (i+1)*r]
+	}
+	return ws
+}
+
+// newState carves one restart's factor block from the scratch arena and
+// fills it with the rng's normal deviates in the same row-major order as
+// always — neither pooling nor the parallel fan-out may perturb the
+// deterministic restart trajectory, so this is the only place randomness
+// is consumed.
+func newState(n, r int, rng *rand.Rand, sc *pipeline.Scratch) *state {
+	vBack := sc.Floats(n * r)
+	st := &state{v: make([][]float64, n), back: vBack}
+	for i := 0; i < n; i++ {
 		st.v[i] = vBack[i*r : (i+1)*r : (i+1)*r]
-		st.grad[i] = gradBack[i*r : (i+1)*r : (i+1)*r]
 		for j := 0; j < r; j++ {
 			st.v[i][j] = rng.NormFloat64()
 		}
@@ -184,8 +313,13 @@ func newState(n, r int, rng *rand.Rand, sc *pipeline.Scratch) *state {
 	return st
 }
 
-func normalize(v []float64) {
-	n := matrix.Norm(v)
+func normalize(v []float64) { normalizeSq(v, matrix.Dot(v, v)) }
+
+// normalizeSq is normalize with the squared norm already in hand (the
+// fused line-search kernel computes it while writing the row). Norm is
+// defined as √Dot(v,v), so √s here is the identical float64.
+func normalizeSq(v []float64, s float64) {
+	n := math.Sqrt(s)
 	if n < 1e-12 {
 		v[0] = 1
 		for i := 1; i < len(v); i++ {
@@ -199,11 +333,15 @@ func normalize(v []float64) {
 	}
 }
 
-// penalized returns the penalty-augmented objective.
-func penalized(v [][]float64, ce, se []graph.Edge, alpha, target, beta float64) float64 {
+// penalized returns the penalty-augmented objective, recording each
+// conflict edge's dot product in xbuf (len(ce)) for the gradient pass to
+// reuse when the scanned point is the one it descends from.
+func penalized(v [][]float64, ce, se []graph.Edge, alpha, target, beta float64, xbuf []float64) float64 {
+	xbuf = xbuf[:len(ce)]
 	f := 0.0
-	for _, e := range ce {
+	for i, e := range ce {
 		x := matrix.Dot(v[e.U], v[e.V])
+		xbuf[i] = x
 		f += x
 		if d := target - x; d > 0 {
 			f += beta * d * d
@@ -245,8 +383,10 @@ func (st *state) score(ce []graph.Edge, target float64) float64 {
 }
 
 // descend runs projected gradient descent with an escalating penalty weight.
-// It polls done between iterations and stops early when closed.
-func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options, target float64) {
+// It polls done between iterations and stops early when closed. The
+// workspace is the runner's own (never shared between goroutines); descend
+// consumes no randomness, which is what lets restarts run concurrently.
+func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options, target float64, ws *workspace) {
 	n := len(st.v)
 	if n == 0 {
 		return
@@ -255,7 +395,12 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 	step := 0.5
 	beta := 4.0
 	const betaMax = 1 << 17
-	fPrev := penalized(st.v, ce, se, opts.Alpha, target, beta)
+	fPrev := penalized(st.v, ce, se, opts.Alpha, target, beta, ws.xbuf)
+	// xValid: ws.xbuf holds the conflict dots of the current iterate (the
+	// last penalized scan saw exactly st.v). Only a rejected line search
+	// breaks this — it restores st.v but leaves the failed trial's dots in
+	// the cache.
+	xValid := true
 	stale := 0
 	escalate := func() bool {
 		// Converged at the current penalty weight: tighten the constraint
@@ -265,7 +410,8 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 			return false
 		}
 		beta *= 4
-		fPrev = penalized(st.v, ce, se, opts.Alpha, target, beta)
+		fPrev = penalized(st.v, ce, se, opts.Alpha, target, beta, ws.xbuf)
+		xValid = true
 		stale = 0
 		step = math.Max(step, 0.05)
 		return true
@@ -276,31 +422,30 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 			return
 		default:
 		}
-		for i := range st.grad {
-			for j := range st.grad[i] {
-				st.grad[i][j] = 0
+		clear(ws.gradBack)
+		for i, e := range ce {
+			var x float64
+			if xValid {
+				x = ws.xbuf[i]
+			} else {
+				x = matrix.Dot(st.v[e.U], st.v[e.V])
 			}
-		}
-		for _, e := range ce {
-			x := matrix.Dot(st.v[e.U], st.v[e.V])
 			w := 1.0
 			if d := target - x; d > 0 {
 				w -= 2 * beta * d
 			}
-			axpy(st.grad[e.U], w, st.v[e.V])
-			axpy(st.grad[e.V], w, st.v[e.U])
+			matrix.AxpyPair(ws.grad[e.U], ws.grad[e.V], w, st.v[e.U], st.v[e.V])
 		}
 		for _, e := range se {
-			axpy(st.grad[e.U], -opts.Alpha, st.v[e.V])
-			axpy(st.grad[e.V], -opts.Alpha, st.v[e.U])
+			matrix.AxpyPair(ws.grad[e.U], ws.grad[e.V], -opts.Alpha, st.v[e.U], st.v[e.V])
 		}
 		// Project out the radial component (Riemannian gradient) and
-		// measure its magnitude for the stopping test.
+		// measure its magnitude for the stopping test, one fused pass per
+		// row.
 		gnorm := 0.0
 		for i := 0; i < n; i++ {
-			radial := matrix.Dot(st.grad[i], st.v[i])
-			axpy(st.grad[i], -radial, st.v[i])
-			gnorm += matrix.Dot(st.grad[i], st.grad[i])
+			radial := matrix.Dot(ws.grad[i], st.v[i])
+			gnorm += matrix.AxpyNormSq(ws.grad[i], -radial, st.v[i])
 		}
 		if gnorm < 1e-12*float64(n) {
 			if !escalate() {
@@ -309,31 +454,30 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 			continue
 		}
 
-		// Backtracking line search along the projected direction.
-		saved := st.saved
-		for i := 0; i < n; i++ {
-			copy(saved[i*r:(i+1)*r], st.v[i])
-		}
+		// Backtracking line search along the projected direction. The save
+		// and restore move the whole flat factor block at once; the rows
+		// alias it, so the bytes are the ones the row-by-row copy moved.
+		saved := ws.saved
+		copy(saved, st.back)
 		improved := false
 		for try := 0; try < 12; try++ {
 			for i := 0; i < n; i++ {
-				copy(st.v[i], saved[i*r:(i+1)*r])
-				axpy(st.v[i], -step, st.grad[i])
-				normalize(st.v[i])
+				s := matrix.AxpyIntoNormSq(st.v[i], saved[i*r:(i+1)*r], -step, ws.grad[i])
+				normalizeSq(st.v[i], s)
 			}
-			f := penalized(st.v, ce, se, opts.Alpha, target, beta)
+			f := penalized(st.v, ce, se, opts.Alpha, target, beta, ws.xbuf)
 			if f < fPrev-1e-12 {
 				fPrev = f
 				improved = true
+				xValid = true
 				step *= 1.3
 				break
 			}
 			step *= 0.5
 		}
 		if !improved {
-			for i := 0; i < n; i++ {
-				copy(st.v[i], saved[i*r:(i+1)*r])
-			}
+			copy(st.back, saved)
+			xValid = false
 			stale++
 			if stale > 3 {
 				if !escalate() {
@@ -343,12 +487,6 @@ func (st *state) descend(done <-chan struct{}, ce, se []graph.Edge, opts Options
 		} else {
 			stale = 0
 		}
-	}
-}
-
-func axpy(dst []float64, a float64, x []float64) {
-	for i := range dst {
-		dst[i] += a * x[i]
 	}
 }
 

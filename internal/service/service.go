@@ -108,6 +108,12 @@ type Stats struct {
 	// Distinct sums per-run distinct-shape counts, so a shape two solves
 	// both touch is counted by each.
 	Shapes division.ShapeStats
+	// Balance accumulates the dispatch-imbalance gauge across every solve
+	// this service executed: worker contributions sum, busy-time extremes
+	// are the lifetime max/min over all runs' workers (division.Balance
+	// merge semantics). A MaxBusy far above MinBusy flags workloads whose
+	// parallel Dispatch is dominated by straggler components.
+	Balance division.Balance
 }
 
 // Service runs decompositions with caching and bounded concurrency. Safe
@@ -321,6 +327,7 @@ func (s *Service) recordEngines(res *core.Result) {
 	s.stats.Shapes.Hits += res.DivisionStats.Shapes.Hits
 	s.stats.Shapes.Misses += res.DivisionStats.Shapes.Misses
 	s.stats.Shapes.Distinct += res.DivisionStats.Shapes.Distinct
+	s.stats.Balance.Merge(res.DivisionStats.Balance)
 }
 
 // recordBuild folds one executed graph build into the aggregate stage
